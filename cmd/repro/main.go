@@ -1,0 +1,129 @@
+// Command repro regenerates every table and figure from the paper's
+// evaluation section. With no flags it runs the full suite and prints
+// each result in the paper's format; -run selects a subset.
+//
+//	repro                  # everything
+//	repro -run table2,figure3
+//	repro -list            # show available experiments
+//	repro -seed 7 -o report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ossd/internal/experiments"
+)
+
+type runner struct {
+	id, desc string
+	run      func(seed int64) (experiments.Result, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"contract", "Table 1: unwritten-contract terms probed on disk, RAID, MEMS, and SSD", func(seed int64) (experiments.Result, error) {
+			return experiments.Contract(seed)
+		}},
+		{"table2", "Table 2: sequential vs random bandwidth across device profiles", func(seed int64) (experiments.Result, error) {
+			return experiments.Table2(experiments.Table2Options{Seed: seed})
+		}},
+		{"swtf", "Section 3.2: SWTF vs FCFS scheduling", func(seed int64) (experiments.Result, error) {
+			return experiments.SWTF(experiments.SWTFOptions{Seed: seed})
+		}},
+		{"figure2", "Figure 2: write-amplification saw-tooth (bandwidth vs write size)", func(seed int64) (experiments.Result, error) {
+			return experiments.Figure2(experiments.Figure2Options{MaxBytes: 9 << 20})
+		}},
+		{"table3", "Table 3: aligned vs unaligned writes across sequentiality", func(seed int64) (experiments.Result, error) {
+			return experiments.Table3(experiments.Table3Options{Seed: seed})
+		}},
+		{"table4", "Table 4: alignment improvement on macro workloads", func(seed int64) (experiments.Result, error) {
+			return experiments.Table4(experiments.Table4Options{Seed: seed})
+		}},
+		{"table5", "Table 5: informed cleaning with free-page information", func(seed int64) (experiments.Result, error) {
+			return experiments.Table5(experiments.Table5Options{Seed: seed})
+		}},
+		{"figure3", "Figure 3 + Table 6: priority-aware cleaning", func(seed int64) (experiments.Result, error) {
+			return experiments.Figure3(experiments.Figure3Options{Seed: seed})
+		}},
+		{"schemes", "Extension: page/hybrid/block FTL mapping schemes compared", func(seed int64) (experiments.Result, error) {
+			return experiments.Schemes(seed)
+		}},
+		{"lifetime", "Extension: endurance under skewed writes (wear-leveling, SLC vs MLC)", func(seed int64) (experiments.Result, error) {
+			return experiments.Lifetime(seed)
+		}},
+	}
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Int64("seed", 1, "random seed for workloads")
+		outPath = flag.String("o", "", "write the report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-10s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	want := map[string]bool{}
+	all := *runList == "all"
+	for _, id := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+
+	known := map[string]bool{}
+	for _, r := range rs {
+		known[r.id] = true
+	}
+	if !all {
+		for id := range want {
+			if id != "" && !known[id] {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "Block Management in Solid-State Devices — reproduction report\n")
+	fmt.Fprintf(out, "seed=%d\n\n", *seed)
+	failed := false
+	for _, r := range rs {
+		if !all && !want[r.id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s ...\n", r.id)
+		start := time.Now()
+		res, err := r.run(*seed)
+		if err != nil {
+			fmt.Fprintf(out, "== %s FAILED: %v\n\n", r.id, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(out, "== %s (%s) [%.1fs]\n%s\n", r.id, r.desc, time.Since(start).Seconds(), res.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

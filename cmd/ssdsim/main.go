@@ -1,0 +1,169 @@
+// Command ssdsim runs a workload against a simulated device and prints
+// performance and cleaning statistics. Devices come from the named
+// profiles (see -list); the workload is a trace file (from tracegen) or a
+// built-in synthetic stream.
+//
+//	ssdsim -profile S4slc_sim -trace pm.trace
+//	ssdsim -profile S2slc -ops 20000 -readfrac 0.5 -align
+//	ssdsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ossd/internal/core"
+	"ossd/internal/ftl"
+	"ossd/internal/sim"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+	"ossd/internal/workload"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "S4slc_sim", "device profile name")
+		list     = flag.Bool("list", false, "list device profiles and exit")
+		traceIn  = flag.String("trace", "", "trace file to replay (default: synthetic workload)")
+		ops      = flag.Int("ops", 20000, "synthetic op count")
+		readFrac = flag.Float64("readfrac", 0.5, "synthetic read fraction")
+		seqProb  = flag.Float64("seq", 0.0, "synthetic sequentiality")
+		iaUs     = flag.Int64("ia", 100, "synthetic mean inter-arrival (us)")
+		precond  = flag.Float64("precondition", 0.6, "fraction of the device to fill before the run (0 disables)")
+		align    = flag.Bool("align", false, "apply the write merge+align pass before replay")
+		stripeKB = flag.Int64("stripe", 32, "alignment stripe in KiB (with -align)")
+		informed = flag.Bool("informed", false, "enable informed cleaning (free-page knowledge)")
+		scheme   = flag.String("scheme", "", "FTL scheme override: page|block|hybrid")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, p := range core.Profiles() {
+			kind := "ssd"
+			if p.IsHDD {
+				kind = "hdd"
+			}
+			fmt.Printf("%-10s %-4s %s\n", p.Name, kind, p.Description)
+		}
+		return
+	}
+
+	p, err := core.ProfileByName(*profile)
+	if err != nil {
+		fail(err)
+	}
+	if *informed {
+		p.SSD.Informed = true
+	}
+	switch *scheme {
+	case "":
+	case "page":
+		p.SSD.Scheme = ftl.PageMapped
+	case "block":
+		p.SSD.Scheme = ftl.BlockMapped
+	case "hybrid":
+		p.SSD.Scheme = ftl.HybridLog
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	dev, err := p.NewDevice()
+	if err != nil {
+		fail(err)
+	}
+
+	if *precond > 0 {
+		fmt.Fprintf(os.Stderr, "preconditioning %.0f%% of %d MB...\n", *precond*100, dev.LogicalBytes()>>20)
+		if err := core.PreconditionFrac(dev, 1<<20, *precond); err != nil {
+			fail(err)
+		}
+	}
+
+	var opsIn []trace.Op
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fail(err)
+		}
+		opsIn, err = trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		opsIn, err = workload.Synthetic(workload.SyntheticConfig{
+			Ops:            *ops,
+			AddressSpace:   int64(float64(dev.LogicalBytes()) * 0.6),
+			ReadFrac:       *readFrac,
+			SeqProb:        *seqProb,
+			ReqSize:        4096,
+			InterarrivalHi: 2 * sim.Time(*iaUs) * sim.Microsecond,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *align {
+		opsIn, err = trace.AlignWith(opsIn, *stripeKB<<10, trace.AlignOptions{
+			MaxGap:      6 * sim.Millisecond,
+			ReadBarrier: true,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	// Shift trace timestamps past the preconditioning window.
+	base := dev.Engine().Now()
+	for i := range opsIn {
+		opsIn[i].At += base
+	}
+
+	start := dev.Engine().Now()
+	startCompleted, startRead, startWritten := dev.Counters()
+	if err := dev.Play(opsIn); err != nil {
+		fail(err)
+	}
+	elapsed := (dev.Engine().Now() - start).Seconds()
+	completed, bytesRead, bytesWritten := dev.Counters()
+	rMean, wMean := dev.MeanResponseMs()
+
+	fmt.Printf("device        %s (%s)\n", p.Name, p.Description)
+	fmt.Printf("ops           %d completed in %.3fs simulated\n", completed-startCompleted, elapsed)
+	fmt.Printf("read          %.1f MB at %.1f MB/s\n",
+		float64(bytesRead-startRead)/1e6, stats.Bandwidth(bytesRead-startRead, elapsed))
+	fmt.Printf("write         %.1f MB at %.1f MB/s\n",
+		float64(bytesWritten-startWritten)/1e6, stats.Bandwidth(bytesWritten-startWritten, elapsed))
+	fmt.Printf("mean response read %.3f ms, write %.3f ms (cumulative incl. precondition)\n", rMean, wMean)
+
+	if s, ok := dev.(*core.SSD); ok {
+		g := s.Raw.GCStats()
+		m := s.Raw.Metrics()
+		fmt.Printf("cleaning      %d passes, %d pages moved, %v total, %d erases\n",
+			g.Cleans, g.PagesMoved, g.CleanTime, g.GCErases)
+		fmt.Printf("frees         %d seen, %d applied\n", g.FreesSeen, g.FreesApplied)
+		fmt.Printf("write amp     %.2fx\n", s.Raw.WriteAmplification())
+		fmt.Printf("bg cleans     %d (device-initiated)\n", m.BackgroundCleans)
+		var wmin, wmax int
+		for i, el := range s.Raw.Elements() {
+			w := el.Wear()
+			if i == 0 || w.Min < wmin {
+				wmin = w.Min
+			}
+			if w.Max > wmax {
+				wmax = w.Max
+			}
+		}
+		fmt.Printf("wear          erase counts %d..%d across blocks\n", wmin, wmax)
+	}
+	if h, ok := dev.(*core.HDD); ok {
+		m := h.Raw.Metrics()
+		fmt.Printf("seeks         %d, cache hits %d\n", m.Seeks, m.CacheHits)
+	}
+}

@@ -1,0 +1,157 @@
+// Command tracegen generates block-level workload traces in the text
+// format understood by cmd/ssdsim and ossd/internal/trace.
+//
+//	tracegen -workload postmark -transactions 5000 -capacity 64MiB -o pm.trace
+//	tracegen -workload synthetic -ops 10000 -seq 0.4 -readfrac 0.66
+//	tracegen -workload iozone -file 16MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ossd/internal/sim"
+	"ossd/internal/trace"
+	"ossd/internal/workload"
+)
+
+// parseSize accepts 4096, 64KiB, 8MiB, 2GiB.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	return v * mult, nil
+}
+
+func main() {
+	var (
+		kind     = flag.String("workload", "synthetic", "synthetic|postmark|tpcc|exchange|iozone")
+		ops      = flag.Int("ops", 10000, "operation count (synthetic/tpcc/exchange)")
+		tx       = flag.Int("transactions", 5000, "transactions (postmark)")
+		capacity = flag.String("capacity", "64MiB", "address space / fs capacity")
+		file     = flag.String("file", "16MiB", "file size (iozone)")
+		record   = flag.String("record", "128KiB", "record size (iozone)")
+		reqSize  = flag.String("req", "4096", "request size (synthetic)")
+		readFrac = flag.Float64("readfrac", 0.5, "read fraction (synthetic)")
+		seqProb  = flag.Float64("seq", 0.0, "sequentiality probability (synthetic)")
+		priFrac  = flag.Float64("priority", 0.0, "priority request fraction (synthetic)")
+		iaUs     = flag.Int64("ia", 100, "mean inter-arrival in microseconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	cap, err := parseSize(*capacity)
+	if err != nil {
+		fail(err)
+	}
+	ia := sim.Time(*iaUs) * sim.Microsecond
+
+	var opsOut []trace.Op
+	switch *kind {
+	case "synthetic":
+		req, err := parseSize(*reqSize)
+		if err != nil {
+			fail(err)
+		}
+		opsOut, err = workload.Synthetic(workload.SyntheticConfig{
+			Ops:            *ops,
+			AddressSpace:   cap,
+			ReadFrac:       *readFrac,
+			SeqProb:        *seqProb,
+			ReqSize:        req,
+			InterarrivalLo: 0,
+			InterarrivalHi: 2 * ia,
+			PriorityFrac:   *priFrac,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	case "postmark":
+		opsOut, err = workload.Postmark(workload.PostmarkConfig{
+			Transactions:     *tx,
+			CapacityBytes:    cap,
+			MeanInterarrival: ia,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	case "tpcc":
+		opsOut, err = workload.TPCC(workload.OLTPConfig{
+			Ops:              *ops,
+			CapacityBytes:    cap,
+			MeanInterarrival: ia,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	case "exchange":
+		opsOut, err = workload.Exchange(workload.ExchangeConfig{
+			Ops:              *ops,
+			CapacityBytes:    cap,
+			MeanInterarrival: ia,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	case "iozone":
+		fileBytes, err := parseSize(*file)
+		if err != nil {
+			fail(err)
+		}
+		rec, err := parseSize(*record)
+		if err != nil {
+			fail(err)
+		}
+		opsOut, err = workload.IOzone(workload.IOzoneConfig{
+			FileBytes:        fileBytes,
+			RecordBytes:      rec,
+			MeanInterarrival: ia,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown workload %q", *kind))
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	st := trace.Summarize(opsOut)
+	fmt.Fprintf(out, "# workload=%s ops=%d reads=%d writes=%d frees=%d maxOffset=%d\n",
+		*kind, st.Ops, st.Reads, st.Writes, st.Frees, st.MaxOffset)
+	if err := trace.Encode(out, opsOut); err != nil {
+		fail(err)
+	}
+}

@@ -1,0 +1,21 @@
+// Ftlcompare: the three classic FTL mapping schemes on the same flash,
+// same workload. Page mapping (the paper's FTL) keeps random writes
+// cheap; block mapping pays a full-block read-merge-write per random
+// page; the FAST-style hybrid log-block design sits between — the design
+// space behind the spread of devices in the paper's Table 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ossd/internal/experiments"
+)
+
+func main() {
+	r, err := experiments.Schemes(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r.String())
+}

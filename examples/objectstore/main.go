@@ -1,0 +1,99 @@
+// Objectstore: the paper's proposal in action. An object-based interface
+// in front of the SSD lets the device do block management: object writes
+// are allocated stripe-aligned (no read-modify-write), and object deletes
+// release pages to the FTL so cleaning skips dead data.
+//
+// The demo stores a churn of small "mailbox" objects, deletes half of
+// them, then drives the device into cleaning and shows how much less work
+// the informed cleaner does compared to a device that never learns about
+// the deletions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ossd/internal/core"
+	"ossd/internal/flash"
+	"ossd/internal/osd"
+	"ossd/internal/sched"
+	"ossd/internal/sim"
+	"ossd/internal/ssd"
+)
+
+func buildStore(informed bool) (*core.SSD, *osd.Store) {
+	dev, err := core.NewSSD(ssd.Config{
+		Elements:      4,
+		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+		Overprovision: 0.12,
+		Layout:        ssd.FullStripe,
+		StripeBytes:   4 * 4096,
+		Scheduler:     sched.SWTF,
+		CtrlOverhead:  10 * sim.Microsecond,
+		GCLow:         0.05,
+		GCCritical:    0.02,
+		Informed:      informed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := osd.New(dev.Raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dev, store
+}
+
+// churn fills the store with objects, deletes every other one, and then
+// rewrites survivors until the device has to clean.
+func churn(dev *core.SSD, store *osd.Store) {
+	eng := dev.Engine()
+	objSize := 4 * store.AllocationUnit()
+	n := int(dev.LogicalBytes() / objSize * 8 / 10)
+	ids := make([]osd.ObjectID, 0, n)
+	for i := 0; i < n; i++ {
+		id := store.Create(osd.Attributes{})
+		if err := store.Write(id, 0, objSize, nil); err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	eng.Run()
+	// Delete half: with an object interface the device learns exactly
+	// which pages died.
+	for i := 0; i < n; i += 2 {
+		if err := store.Delete(ids[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.Run()
+	// Rewrite the survivors a few times to force cleaning.
+	for round := 0; round < 6; round++ {
+		for i := 1; i < n; i += 2 {
+			if err := store.Write(ids[i], 0, objSize, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		eng.Run()
+	}
+}
+
+func main() {
+	for _, informed := range []bool{false, true} {
+		dev, store := buildStore(informed)
+		churn(dev, store)
+		g := dev.Raw.GCStats()
+		st := store.Stats()
+		mode := "block-device (frees ignored)"
+		if informed {
+			mode = "object-based (informed cleaning)"
+		}
+		fmt.Printf("%-34s objects=%d deleted=%d\n", mode, st.Objects, st.Deleted)
+		fmt.Printf("  cleaning: %d passes, %d pages moved, %v spent\n",
+			g.Cleans, g.PagesMoved, g.CleanTime)
+		fmt.Printf("  rmw reads during writes: %d (stripe-aligned allocation keeps this at 0)\n\n",
+			g.HostPageReads)
+	}
+	fmt.Println("the informed device moves fewer pages for the same workload —")
+	fmt.Println("that is Table 5 of the paper, driven through the OSD interface.")
+}

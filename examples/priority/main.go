@@ -1,0 +1,76 @@
+// Priority: quality-of-service via priority-aware cleaning (§3.6). Two
+// identical devices serve the same mixed workload — 10% foreground
+// (priority) requests, 90% background — but one postpones low-watermark
+// cleaning while priority requests are outstanding. The foreground class
+// sees better response times on the aware device.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ossd/internal/core"
+	"ossd/internal/flash"
+	"ossd/internal/sched"
+	"ossd/internal/sim"
+	"ossd/internal/ssd"
+	"ossd/internal/workload"
+)
+
+func run(aware bool) (fgMs, bgMs float64, cleans int64) {
+	dev, err := core.NewSSD(ssd.Config{
+		Elements:      16,
+		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+		Overprovision: 0.10,
+		Layout:        ssd.Interleaved,
+		Scheduler:     sched.SWTF,
+		CtrlOverhead:  10 * sim.Microsecond,
+		GCLow:         0.05,
+		GCCritical:    0.02,
+		PriorityAware: aware,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fill to 75% twice: the second pass drains the free pool so cleaning
+	// is active from the start.
+	for i := 0; i < 2; i++ {
+		if err := core.PreconditionFrac(dev, 1<<20, 0.75); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ops, err := workload.Synthetic(workload.SyntheticConfig{
+		Ops:            40000,
+		AddressSpace:   int64(float64(dev.LogicalBytes()) * 0.75),
+		ReadFrac:       0.4,
+		ReqSize:        4096,
+		InterarrivalHi: 100 * sim.Microsecond,
+		PriorityFrac:   0.10,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := dev.Engine().Now()
+	for i := range ops {
+		ops[i].At += base
+	}
+	if err := dev.Play(ops); err != nil {
+		log.Fatal(err)
+	}
+	m := dev.Raw.Metrics()
+	return m.PriResp.Mean(), m.BgResp.Mean(), m.BackgroundCleans
+}
+
+func main() {
+	fgA, bgA, cleansA := run(false)
+	fgP, bgP, cleansP := run(true)
+	fmt.Printf("priority-agnostic: foreground %.3f ms, background %.3f ms (%d cleans)\n", fgA, bgA, cleansA)
+	fmt.Printf("priority-aware:    foreground %.3f ms, background %.3f ms (%d cleans)\n", fgP, bgP, cleansP)
+	if fgA > 0 {
+		fmt.Printf("foreground improvement from awareness: %.1f%%\n", (fgA-fgP)/fgA*100)
+	}
+	fmt.Println("\nthe aware device defers low-watermark cleaning while priority")
+	fmt.Println("requests are queued, cleaning at the critical watermark instead —")
+	fmt.Println("Figure 3 / Table 6 of the paper.")
+}

@@ -1,0 +1,249 @@
+// Package core is the public facade of the library: a unified Device
+// interface over the simulated SSD (ossd/internal/ssd) and HDD
+// (ossd/internal/hdd), the bandwidth-measurement harness used by the
+// paper's Table 2, and the named device profiles the experiments run
+// against. Examples, command-line tools, and benchmarks consume this
+// package; the internal substrates stay swappable behind it.
+package core
+
+import (
+	"fmt"
+
+	"ossd/internal/hdd"
+	"ossd/internal/sim"
+	"ossd/internal/ssd"
+	"ossd/internal/trace"
+)
+
+// Device is the block-level view shared by the SSD and HDD models: submit
+// timed operations, replay traces, or drive a closed loop, all on a
+// simulated clock.
+type Device interface {
+	// Submit enqueues an operation at the current simulated time; onDone
+	// (optional) receives the response time when it completes.
+	Submit(op trace.Op, onDone func(resp sim.Time, err error)) error
+	// Play replays a timestamped trace to completion.
+	Play(ops []trace.Op) error
+	// ClosedLoop keeps depth ops outstanding, drawing from gen until it
+	// returns false, then runs to completion.
+	ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error
+	// Engine returns the simulation engine.
+	Engine() *sim.Engine
+	// LogicalBytes reports the usable capacity.
+	LogicalBytes() int64
+	// Counters reports completed ops and host bytes moved.
+	Counters() (completed int64, bytesRead, bytesWritten int64)
+	// MeanResponseMs reports mean read and write response times.
+	MeanResponseMs() (read, write float64)
+}
+
+// SSD wraps the flash device as a core.Device while keeping the rich
+// internal API reachable via Raw.
+type SSD struct {
+	Raw *ssd.Device
+}
+
+// NewSSD builds a flash device on a fresh engine.
+func NewSSD(cfg ssd.Config) (*SSD, error) {
+	dev, err := ssd.New(sim.NewEngine(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SSD{Raw: dev}, nil
+}
+
+// Submit implements Device.
+func (s *SSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
+	var cb func(*ssd.Request)
+	if onDone != nil {
+		cb = func(r *ssd.Request) { onDone(r.Response(), r.Err) }
+	}
+	return s.Raw.Submit(op, cb)
+}
+
+// Play implements Device.
+func (s *SSD) Play(ops []trace.Op) error { return s.Raw.Play(ops) }
+
+// ClosedLoop implements Device.
+func (s *SSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
+	return s.Raw.ClosedLoop(depth, gen)
+}
+
+// Engine implements Device.
+func (s *SSD) Engine() *sim.Engine { return s.Raw.Engine() }
+
+// LogicalBytes implements Device.
+func (s *SSD) LogicalBytes() int64 { return s.Raw.LogicalBytes() }
+
+// Counters implements Device.
+func (s *SSD) Counters() (int64, int64, int64) {
+	m := s.Raw.Metrics()
+	return m.Completed, m.BytesRead, m.BytesWritten
+}
+
+// MeanResponseMs implements Device.
+func (s *SSD) MeanResponseMs() (float64, float64) {
+	m := s.Raw.Metrics()
+	return m.ReadResp.Mean(), m.WriteResp.Mean()
+}
+
+// HDD wraps the disk model as a core.Device.
+type HDD struct {
+	Raw *hdd.Disk
+}
+
+// NewHDD builds a disk on a fresh engine.
+func NewHDD(cfg hdd.Config) (*HDD, error) {
+	d, err := hdd.New(sim.NewEngine(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &HDD{Raw: d}, nil
+}
+
+// Submit implements Device.
+func (h *HDD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
+	var cb func(*hdd.Request)
+	if onDone != nil {
+		cb = func(r *hdd.Request) { onDone(r.Response(), nil) }
+	}
+	return h.Raw.Submit(op, cb)
+}
+
+// Play implements Device.
+func (h *HDD) Play(ops []trace.Op) error { return h.Raw.Play(ops) }
+
+// ClosedLoop implements Device.
+func (h *HDD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
+	return h.Raw.ClosedLoop(depth, gen)
+}
+
+// Engine implements Device.
+func (h *HDD) Engine() *sim.Engine { return h.Raw.Engine() }
+
+// LogicalBytes implements Device.
+func (h *HDD) LogicalBytes() int64 { return h.Raw.LogicalBytes() }
+
+// Counters implements Device.
+func (h *HDD) Counters() (int64, int64, int64) {
+	m := h.Raw.Metrics()
+	return m.Completed, m.BytesRead, m.BytesWritten
+}
+
+// MeanResponseMs implements Device.
+func (h *HDD) MeanResponseMs() (float64, float64) {
+	m := h.Raw.Metrics()
+	return m.ReadResp.Mean(), m.WriteResp.Mean()
+}
+
+// Compile-time interface checks.
+var (
+	_ Device = (*SSD)(nil)
+	_ Device = (*HDD)(nil)
+)
+
+// Precondition sequentially writes the whole device once so that every
+// logical page is mapped: reads hit real media and overwrites trigger
+// read-modify-write and cleaning, which is the steady state the paper's
+// measurements reflect.
+func Precondition(d Device, chunk int64) error {
+	return PreconditionFrac(d, chunk, 1.0)
+}
+
+// PreconditionFrac fills only the first frac of the address space. Device
+// utilization governs garbage-collection cost (victim blocks at u
+// utilization are ~u full, so cleaning one block reclaims ~(1-u) of it);
+// experiments choose the utilization their workload represents instead of
+// always paying the worst case.
+func PreconditionFrac(d Device, chunk int64, frac float64) error {
+	if chunk <= 0 {
+		chunk = 1 << 20
+	}
+	if frac <= 0 || frac > 1 {
+		return fmt.Errorf("core: precondition fraction %v out of (0, 1]", frac)
+	}
+	space := int64(float64(d.LogicalBytes()) * frac)
+	var off int64
+	return d.ClosedLoop(1, func(int) (trace.Op, bool) {
+		if off >= space {
+			return trace.Op{}, false
+		}
+		size := chunk
+		if off+size > space {
+			size = space - off
+		}
+		op := trace.Op{Kind: trace.Write, Offset: off, Size: size}
+		off += size
+		return op, true
+	})
+}
+
+// Pattern selects the access pattern of a bandwidth measurement.
+type Pattern int
+
+const (
+	// Sequential walks the address space in order.
+	Sequential Pattern = iota
+	// Random draws uniform aligned offsets.
+	Random
+)
+
+// BWOptions configures a bandwidth measurement.
+type BWOptions struct {
+	// Kind is trace.Read or trace.Write.
+	Kind trace.Kind
+	// Pattern is Sequential or Random.
+	Pattern Pattern
+	// ReqBytes is the request size.
+	ReqBytes int64
+	// TotalBytes bounds the bytes moved by the measurement.
+	TotalBytes int64
+	// Depth is the closed-loop queue depth.
+	Depth int
+	// Seed drives the random pattern.
+	Seed int64
+}
+
+// MeasureBandwidth runs a closed-loop scan and returns MB/s over the
+// measurement window (first submission to last completion).
+func MeasureBandwidth(d Device, o BWOptions) (float64, error) {
+	if o.ReqBytes <= 0 || o.TotalBytes < o.ReqBytes {
+		return 0, fmt.Errorf("core: bad measurement sizes: req %d total %d", o.ReqBytes, o.TotalBytes)
+	}
+	space := d.LogicalBytes()
+	if o.ReqBytes > space {
+		return 0, fmt.Errorf("core: request larger than device")
+	}
+	rng := sim.NewRNG(o.Seed)
+	slots := space / o.ReqBytes
+	n := int(o.TotalBytes / o.ReqBytes)
+	start := d.Engine().Now()
+	var off int64
+	i := 0
+	err := d.ClosedLoop(o.Depth, func(int) (trace.Op, bool) {
+		if i >= n {
+			return trace.Op{}, false
+		}
+		i++
+		var o2 int64
+		switch o.Pattern {
+		case Sequential:
+			if off+o.ReqBytes > space {
+				off = 0
+			}
+			o2 = off
+			off += o.ReqBytes
+		case Random:
+			o2 = rng.Int63n(slots) * o.ReqBytes
+		}
+		return trace.Op{Kind: o.Kind, Offset: o2, Size: o.ReqBytes}, true
+	})
+	if err != nil {
+		return 0, err
+	}
+	elapsed := (d.Engine().Now() - start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("core: measurement window empty")
+	}
+	return float64(int64(n)*o.ReqBytes) / 1e6 / elapsed, nil
+}

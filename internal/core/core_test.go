@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"ossd/internal/flash"
+	"ossd/internal/hdd"
+	"ossd/internal/sim"
+	"ossd/internal/ssd"
+	"ossd/internal/trace"
+)
+
+func smallSSD(t *testing.T) *SSD {
+	t.Helper()
+	d, err := NewSSD(ssd.Config{
+		Elements:      2,
+		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 8, BlocksPerPackage: 32},
+		Overprovision: 0.15,
+		Layout:        ssd.Interleaved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSSDWrapperRoundTrip(t *testing.T) {
+	d := smallSSD(t)
+	var resp sim.Time
+	var gotErr error
+	if err := d.Submit(trace.Op{Kind: trace.Write, Offset: 0, Size: 4096},
+		func(r sim.Time, err error) { resp, gotErr = r, err }); err != nil {
+		t.Fatal(err)
+	}
+	d.Engine().Run()
+	if gotErr != nil || resp <= 0 {
+		t.Fatalf("submit callback: %v %v", resp, gotErr)
+	}
+	completed, _, written := d.Counters()
+	if completed != 1 || written != 4096 {
+		t.Fatalf("counters: %d %d", completed, written)
+	}
+	_, w := d.MeanResponseMs()
+	if w <= 0 {
+		t.Fatal("no write response recorded")
+	}
+}
+
+func TestHDDWrapperRoundTrip(t *testing.T) {
+	d, err := NewHDD(hdd.Barracuda7200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp sim.Time
+	if err := d.Submit(trace.Op{Kind: trace.Read, Offset: 0, Size: 4096},
+		func(r sim.Time, err error) { resp = r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Engine().Run()
+	if resp <= 0 {
+		t.Fatal("read did not complete")
+	}
+	if d.LogicalBytes() != hdd.Barracuda7200().CapacityBytes {
+		t.Fatal("capacity mismatch")
+	}
+}
+
+func TestRAIDAndMEMSWrappers(t *testing.T) {
+	r, err := NewRAID(DefaultRAID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Play([]trace.Op{{Kind: trace.Write, Offset: 0, Size: 4096}}); err != nil {
+		t.Fatal(err)
+	}
+	if c, _, w := r.Counters(); c != 1 || w != 4096 {
+		t.Fatalf("raid counters: %d %d", c, w)
+	}
+	m, err := NewMEMS(DefaultMEMS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Play([]trace.Op{{Kind: trace.Read, Offset: 0, Size: 4096}}); err != nil {
+		t.Fatal(err)
+	}
+	if c, rd, _ := m.Counters(); c != 1 || rd != 4096 {
+		t.Fatalf("mems counters: %d %d", c, rd)
+	}
+	rms, _ := m.MeanResponseMs()
+	if rms <= 0 {
+		t.Fatal("mems read mean missing")
+	}
+}
+
+func TestPreconditionFull(t *testing.T) {
+	d := smallSSD(t)
+	if err := Precondition(d, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	_, _, written := d.Counters()
+	if written != d.LogicalBytes() {
+		t.Fatalf("precondition wrote %d of %d", written, d.LogicalBytes())
+	}
+	// Every page mapped.
+	for _, el := range d.Raw.Elements() {
+		for lpn := 0; lpn < el.LogicalPages(); lpn++ {
+			if !el.Mapped(lpn) {
+				t.Fatalf("page %d unmapped after full precondition", lpn)
+			}
+		}
+	}
+}
+
+func TestMeasureBandwidthPatterns(t *testing.T) {
+	d := smallSSD(t)
+	if err := Precondition(d, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := MeasureBandwidth(d, BWOptions{
+		Kind: trace.Read, Pattern: Sequential, ReqBytes: 8192, TotalBytes: 1 << 20, Depth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := MeasureBandwidth(d, BWOptions{
+		Kind: trace.Read, Pattern: Random, ReqBytes: 4096, TotalBytes: 1 << 20, Depth: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= 0 || rnd <= 0 {
+		t.Fatalf("bandwidths: %v %v", seq, rnd)
+	}
+}
+
+func TestMeasureBandwidthWrapsSequential(t *testing.T) {
+	// TotalBytes larger than the device must wrap, not error.
+	d := smallSSD(t)
+	if err := Precondition(d, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureBandwidth(d, BWOptions{
+		Kind: trace.Write, Pattern: Sequential, ReqBytes: 64 << 10,
+		TotalBytes: 2 * d.LogicalBytes(), Depth: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range Profiles() {
+		if p.Name == "" || p.Description == "" {
+			t.Fatalf("profile missing identity: %+v", p)
+		}
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.SeqReqBytes <= 0 || p.RandReqBytes <= 0 {
+			t.Fatalf("%s: bad request sizes", p.Name)
+		}
+		if p.SeqReadDepth <= 0 || p.RandReadDepth <= 0 || p.SeqWriteDepth <= 0 || p.RandWriteDepth <= 0 {
+			t.Fatalf("%s: missing depths", p.Name)
+		}
+	}
+	for _, want := range []string{"HDD", "S1slc", "S2slc", "S3slc", "S4slc_sim", "S5mlc"} {
+		if !names[want] {
+			t.Fatalf("missing Table 2 profile %s", want)
+		}
+	}
+}
+
+func TestDefaultRAIDAndMEMSConfigs(t *testing.T) {
+	rc := DefaultRAID()
+	if rc.Disks < 3 {
+		t.Fatal("default RAID too small")
+	}
+	mc := DefaultMEMS()
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

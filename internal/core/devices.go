@@ -1,0 +1,124 @@
+package core
+
+import (
+	"ossd/internal/hdd"
+	"ossd/internal/mems"
+	"ossd/internal/raid"
+	"ossd/internal/sim"
+	"ossd/internal/trace"
+)
+
+// RAID wraps the RAID-5 array model as a core.Device (Table 1's RAID
+// column).
+type RAID struct {
+	Raw *raid.Array
+}
+
+// NewRAID builds an array on a fresh engine.
+func NewRAID(cfg raid.Config) (*RAID, error) {
+	a, err := raid.New(sim.NewEngine(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RAID{Raw: a}, nil
+}
+
+// Submit implements Device.
+func (r *RAID) Submit(op trace.Op, onDone func(sim.Time, error)) error {
+	var cb func(*raid.Request)
+	if onDone != nil {
+		cb = func(q *raid.Request) { onDone(q.Response(), nil) }
+	}
+	return r.Raw.Submit(op, cb)
+}
+
+// Play implements Device.
+func (r *RAID) Play(ops []trace.Op) error { return r.Raw.Play(ops) }
+
+// ClosedLoop implements Device.
+func (r *RAID) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
+	return r.Raw.ClosedLoop(depth, gen)
+}
+
+// Engine implements Device.
+func (r *RAID) Engine() *sim.Engine { return r.Raw.Engine() }
+
+// LogicalBytes implements Device.
+func (r *RAID) LogicalBytes() int64 { return r.Raw.LogicalBytes() }
+
+// Counters implements Device.
+func (r *RAID) Counters() (int64, int64, int64) {
+	m := r.Raw.Metrics()
+	return m.Completed, m.BytesRead, m.BytesWritten
+}
+
+// MeanResponseMs implements Device.
+func (r *RAID) MeanResponseMs() (float64, float64) {
+	m := r.Raw.Metrics()
+	return m.ReadResp.Mean(), m.WriteResp.Mean()
+}
+
+// MEMS wraps the MEMS-storage model as a core.Device (Table 1's MEMS
+// column).
+type MEMS struct {
+	Raw *mems.Device
+}
+
+// NewMEMS builds a device on a fresh engine.
+func NewMEMS(cfg mems.Config) (*MEMS, error) {
+	d, err := mems.New(sim.NewEngine(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MEMS{Raw: d}, nil
+}
+
+// Submit implements Device.
+func (m *MEMS) Submit(op trace.Op, onDone func(sim.Time, error)) error {
+	var cb func(*mems.Request)
+	if onDone != nil {
+		cb = func(q *mems.Request) { onDone(q.Response(), nil) }
+	}
+	return m.Raw.Submit(op, cb)
+}
+
+// Play implements Device.
+func (m *MEMS) Play(ops []trace.Op) error { return m.Raw.Play(ops) }
+
+// ClosedLoop implements Device.
+func (m *MEMS) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
+	return m.Raw.ClosedLoop(depth, gen)
+}
+
+// Engine implements Device.
+func (m *MEMS) Engine() *sim.Engine { return m.Raw.Engine() }
+
+// LogicalBytes implements Device.
+func (m *MEMS) LogicalBytes() int64 { return m.Raw.LogicalBytes() }
+
+// Counters implements Device.
+func (m *MEMS) Counters() (int64, int64, int64) {
+	mm := m.Raw.Metrics()
+	return mm.Completed, mm.BytesRead, mm.BytesWritten
+}
+
+// MeanResponseMs implements Device.
+func (m *MEMS) MeanResponseMs() (float64, float64) {
+	mm := m.Raw.Metrics()
+	return mm.ReadResp.Mean(), mm.WriteResp.Mean()
+}
+
+// DefaultRAID is the Table 1 array: five Barracuda-class spindles,
+// 64 KiB stripe units.
+func DefaultRAID() raid.Config {
+	return raid.Config{Disks: 5, Disk: hdd.Barracuda7200(), StripeUnitBytes: 64 << 10}
+}
+
+// DefaultMEMS is the Table 1 MEMS device (Schlosser & Ganger's G2).
+func DefaultMEMS() mems.Config { return mems.G2() }
+
+// Compile-time interface checks.
+var (
+	_ Device = (*RAID)(nil)
+	_ Device = (*MEMS)(nil)
+)

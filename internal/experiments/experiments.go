@@ -1,0 +1,34 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation. Each runner builds its devices and workloads from
+// the other internal packages, executes the simulation, and returns a
+// typed result that renders the same rows or series the paper reports.
+// cmd/repro drives all of them; the root-level benchmarks wrap each one.
+package experiments
+
+import (
+	"fmt"
+
+	"ossd/internal/core"
+)
+
+// Result is implemented by every experiment result: a human-readable
+// rendering plus the experiment's identity.
+type Result interface {
+	// ID is the paper artifact this reproduces (e.g. "table2").
+	ID() string
+	// String renders the result in the paper's format.
+	String() string
+}
+
+// preconditioned builds a profile device and writes it end-to-end so
+// measurements run against a fully-mapped, steady-state device.
+func preconditioned(p core.Profile) (core.Device, error) {
+	d, err := p.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Precondition(d, 1<<20); err != nil {
+		return nil, fmt.Errorf("precondition %s: %w", p.Name, err)
+	}
+	return d, nil
+}

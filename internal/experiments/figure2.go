@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"ossd/internal/core"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+)
+
+// Figure2Result reproduces Figure 2: write bandwidth vs. write size on
+// the S2slc-class device (1 MB stripe). Bandwidth peaks when the write
+// size is a multiple of the stripe and drops when a trailing partial
+// stripe forces read-modify-write — the saw-tooth.
+type Figure2Result struct {
+	// Series maps write size (MB) to bandwidth (MB/s).
+	Series stats.Series
+	// PeakMBps and TroughMBps summarize the saw-tooth amplitude over the
+	// sizes past the first stripe.
+	PeakMBps, TroughMBps float64
+}
+
+// ID implements Result.
+func (Figure2Result) ID() string { return "figure2" }
+
+func (r Figure2Result) String() string {
+	out := "Figure 2: Write Amplification (bandwidth vs write size, 1 MB stripe)\n"
+	out += r.Series.String()
+	t := stats.NewTable("", "", "")
+	t.AddRow("peak MB/s (stripe-aligned sizes)", r.PeakMBps)
+	t.AddRow("trough MB/s (stripe+partial sizes)", r.TroughMBps)
+	return out + t.String()
+}
+
+// Figure2Options tunes the sweep.
+type Figure2Options struct {
+	// MaxBytes is the largest write size (default 4 MB; the paper sweeps
+	// to 9 MB — pass 9<<20 for the full axis).
+	MaxBytes int64
+	// StepBytes is the sweep step (default 256 KB).
+	StepBytes int64
+	// BytesPerPoint bounds each measurement (default 24 MB).
+	BytesPerPoint int64
+}
+
+func (o *Figure2Options) defaults() {
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 4 << 20
+	}
+	if o.StepBytes == 0 {
+		o.StepBytes = 256 << 10
+	}
+	if o.BytesPerPoint == 0 {
+		o.BytesPerPoint = 24 << 20
+	}
+}
+
+// Figure2 runs the sweep on a single preconditioned S2slc device,
+// measuring sustained sequential-write bandwidth at each request size.
+func Figure2(opts Figure2Options) (Figure2Result, error) {
+	opts.defaults()
+	var res Figure2Result
+	res.Series.Name = "write-size(MB) bandwidth(MB/s)"
+	p, err := core.ProfileByName("S2slc")
+	if err != nil {
+		return res, err
+	}
+	stripe := p.SSD.StripeBytes
+	d, err := preconditioned(p)
+	if err != nil {
+		return res, err
+	}
+	var peaks, troughs []float64
+	for size := opts.StepBytes; size <= opts.MaxBytes; size += opts.StepBytes {
+		bw, err := core.MeasureBandwidth(d, core.BWOptions{
+			Kind:       trace.Write,
+			Pattern:    core.Sequential,
+			ReqBytes:   size,
+			TotalBytes: opts.BytesPerPoint,
+			Depth:      1,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Series.Add(float64(size)/1e6, bw)
+		if size >= stripe {
+			if size%stripe == 0 {
+				peaks = append(peaks, bw)
+			} else {
+				troughs = append(troughs, bw)
+			}
+		}
+	}
+	_, res.PeakMBps, _ = stats.Summarize(peaks)
+	_, res.TroughMBps, _ = stats.Summarize(troughs)
+	return res, nil
+}

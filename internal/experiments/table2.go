@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"ossd/internal/core"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+)
+
+// Table2Row is one device's seq/rand characterization.
+type Table2Row struct {
+	Device     string
+	SeqRead    float64
+	RandRead   float64
+	ReadRatio  float64
+	SeqWrite   float64
+	RandWrite  float64
+	WriteRatio float64
+}
+
+// Table2Result reproduces Table 2: "Ratio of Sequential to Random
+// Bandwidth" for the HDD baseline and the five SSD profiles.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// ID implements Result.
+func (Table2Result) ID() string { return "table2" }
+
+// Table renders the result.
+func (r Table2Result) Table() *stats.Table {
+	t := stats.NewTable(
+		"Table 2: Ratio of Sequential to Random Bandwidth (MB/s)",
+		"Device", "SeqRead", "RandRead", "Ratio", "SeqWrite", "RandWrite", "Ratio",
+	)
+	for _, row := range r.Rows {
+		t.AddRow(row.Device, row.SeqRead, row.RandRead, row.ReadRatio,
+			row.SeqWrite, row.RandWrite, row.WriteRatio)
+	}
+	t.AddNote("HDD seq/rand gap is two orders of magnitude; SSD read gaps are small;")
+	t.AddNote("full-stripe SSDs (S2, S3) have random-write bandwidth below the HDD's.")
+	return t
+}
+
+func (r Table2Result) String() string { return r.Table().String() }
+
+// Table2Options tunes the measurement volume.
+type Table2Options struct {
+	// BytesPerTest bounds each measurement (default 32 MB).
+	BytesPerTest int64
+	// RandBytesPerTest bounds the random tests separately (default 4 MB:
+	// random tests on slow devices dominate wall time).
+	RandBytesPerTest int64
+	// Seed drives the random patterns.
+	Seed int64
+	// Profiles overrides the device set (default core.Profiles()).
+	Profiles []core.Profile
+}
+
+func (o *Table2Options) defaults() {
+	if o.BytesPerTest == 0 {
+		o.BytesPerTest = 32 << 20
+	}
+	if o.RandBytesPerTest == 0 {
+		o.RandBytesPerTest = 4 << 20
+	}
+	if o.Profiles == nil {
+		o.Profiles = core.Profiles()
+	}
+}
+
+// Table2 runs the four measurements per profile, each on a fresh,
+// preconditioned device.
+func Table2(opts Table2Options) (Table2Result, error) {
+	opts.defaults()
+	var res Table2Result
+	for _, p := range opts.Profiles {
+		row := Table2Row{Device: p.Name}
+		type test struct {
+			kind    trace.Kind
+			pattern core.Pattern
+			req     int64
+			depth   int
+			total   int64
+			out     *float64
+		}
+		tests := []test{
+			{trace.Read, core.Sequential, p.SeqReqBytes, p.SeqReadDepth, opts.BytesPerTest, &row.SeqRead},
+			{trace.Read, core.Random, p.RandReqBytes, p.RandReadDepth, opts.RandBytesPerTest, &row.RandRead},
+			{trace.Write, core.Sequential, p.SeqReqBytes, p.SeqWriteDepth, opts.BytesPerTest, &row.SeqWrite},
+			{trace.Write, core.Random, p.RandReqBytes, p.RandWriteDepth, opts.RandBytesPerTest, &row.RandWrite},
+		}
+		for _, tc := range tests {
+			d, err := preconditioned(p)
+			if err != nil {
+				return res, err
+			}
+			total := tc.total
+			if total < tc.req {
+				total = tc.req
+			}
+			bw, err := core.MeasureBandwidth(d, core.BWOptions{
+				Kind:       tc.kind,
+				Pattern:    tc.pattern,
+				ReqBytes:   tc.req,
+				TotalBytes: total,
+				Depth:      tc.depth,
+				Seed:       opts.Seed + 1,
+			})
+			if err != nil {
+				return res, err
+			}
+			*tc.out = bw
+		}
+		row.ReadRatio = stats.Ratio(row.SeqRead, row.RandRead)
+		row.WriteRatio = stats.Ratio(row.SeqWrite, row.RandWrite)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

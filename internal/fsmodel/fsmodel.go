@@ -1,0 +1,240 @@
+// Package fsmodel is a minimal file-system block allocator: a block
+// bitmap with next-fit extent allocation and per-file extent lists. It
+// stands in for the paper's ext3-aware pseudo-device driver (§3.5): the
+// Postmark workload generator runs file create/write/read/delete
+// operations through it to obtain a block-level trace in which deletions
+// appear as free notifications at the exact block ranges the file
+// occupied.
+package fsmodel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// FileID names a file within the model.
+type FileID int64
+
+// Extent is a contiguous run of blocks.
+type Extent struct {
+	// Start is the first block; Count the run length.
+	Start, Count int64
+}
+
+// Bytes converts the extent to a byte range for a given block size.
+func (e Extent) Bytes(blockSize int64) (off, size int64) {
+	return e.Start * blockSize, e.Count * blockSize
+}
+
+// Errors.
+var (
+	ErrNoSpace    = errors.New("fsmodel: file system full")
+	ErrNotFound   = errors.New("fsmodel: no such file")
+	ErrBadRequest = errors.New("fsmodel: invalid request")
+)
+
+// FS is the allocator state. Not safe for concurrent use.
+type FS struct {
+	blockSize int64
+	nblocks   int64
+	bitmap    []uint64
+	free      int64
+	hint      int64 // next-fit cursor
+	files     map[FileID][]Extent
+	nextID    FileID
+}
+
+// New builds an empty file system over capacity bytes.
+func New(capacity, blockSize int64) (*FS, error) {
+	if blockSize <= 0 || capacity < blockSize {
+		return nil, fmt.Errorf("%w: capacity %d blockSize %d", ErrBadRequest, capacity, blockSize)
+	}
+	n := capacity / blockSize
+	return &FS{
+		blockSize: blockSize,
+		nblocks:   n,
+		bitmap:    make([]uint64, (n+63)/64),
+		free:      n,
+		files:     make(map[FileID][]Extent),
+	}, nil
+}
+
+// BlockSize returns the block size in bytes.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// Blocks returns the total block count.
+func (fs *FS) Blocks() int64 { return fs.nblocks }
+
+// FreeBlocks returns the number of unallocated blocks.
+func (fs *FS) FreeBlocks() int64 { return fs.free }
+
+// Files returns the number of live files.
+func (fs *FS) Files() int { return len(fs.files) }
+
+func (fs *FS) isSet(b int64) bool { return fs.bitmap[b/64]&(1<<(uint(b)%64)) != 0 }
+func (fs *FS) set(b int64)        { fs.bitmap[b/64] |= 1 << (uint(b) % 64) }
+func (fs *FS) clear(b int64)      { fs.bitmap[b/64] &^= 1 << (uint(b) % 64) }
+
+// Create registers a new empty file and returns its ID.
+func (fs *FS) Create() FileID {
+	fs.nextID++
+	fs.files[fs.nextID] = nil
+	return fs.nextID
+}
+
+// Exists reports whether a file is live.
+func (fs *FS) Exists(id FileID) bool {
+	_, ok := fs.files[id]
+	return ok
+}
+
+// Extents returns a copy of a file's extent list.
+func (fs *FS) Extents(id FileID) ([]Extent, error) {
+	ex, ok := fs.files[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]Extent(nil), ex...), nil
+}
+
+// SizeBlocks returns a file's length in blocks.
+func (fs *FS) SizeBlocks(id FileID) (int64, error) {
+	ex, ok := fs.files[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	var n int64
+	for _, e := range ex {
+		n += e.Count
+	}
+	return n, nil
+}
+
+// Append allocates n blocks to a file with next-fit placement and
+// returns the newly-allocated extents (possibly several when free space
+// is fragmented).
+func (fs *FS) Append(id FileID, n int64) ([]Extent, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: append %d blocks", ErrBadRequest, n)
+	}
+	ex, ok := fs.files[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if n > fs.free {
+		return nil, ErrNoSpace
+	}
+	var got []Extent
+	remaining := n
+	cursor := fs.hint
+	scanned := int64(0)
+	var run Extent
+	flushRun := func() {
+		if run.Count > 0 {
+			got = append(got, run)
+			run = Extent{}
+		}
+	}
+	for remaining > 0 && scanned < fs.nblocks {
+		b := cursor % fs.nblocks
+		if !fs.isSet(b) {
+			fs.set(b)
+			fs.free--
+			remaining--
+			if run.Count > 0 && run.Start+run.Count == b {
+				run.Count++
+			} else {
+				flushRun()
+				run = Extent{Start: b, Count: 1}
+			}
+		} else if run.Count > 0 {
+			flushRun()
+		}
+		cursor++
+		scanned++
+	}
+	flushRun()
+	fs.hint = cursor % fs.nblocks
+	if remaining > 0 {
+		// Roll back: free counter said there was room, so this is a bug.
+		panic("fsmodel: free-count/bitmap mismatch")
+	}
+	fs.files[id] = append(ex, got...)
+	return got, nil
+}
+
+// Delete removes a file and returns its extents (now free), merged and
+// sorted, ready to become free notifications.
+func (fs *FS) Delete(id FileID) ([]Extent, error) {
+	ex, ok := fs.files[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	delete(fs.files, id)
+	for _, e := range ex {
+		for b := e.Start; b < e.Start+e.Count; b++ {
+			if !fs.isSet(b) {
+				panic(fmt.Sprintf("fsmodel: double free of block %d", b))
+			}
+			fs.clear(b)
+			fs.free++
+		}
+	}
+	return MergeExtents(ex), nil
+}
+
+// MergeExtents sorts and coalesces adjacent or overlapping extents.
+func MergeExtents(ex []Extent) []Extent {
+	if len(ex) == 0 {
+		return nil
+	}
+	out := append([]Extent(nil), ex...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	merged := out[:1]
+	for _, e := range out[1:] {
+		last := &merged[len(merged)-1]
+		if e.Start <= last.Start+last.Count {
+			if end := e.Start + e.Count; end > last.Start+last.Count {
+				last.Count = end - last.Start
+			}
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	return merged
+}
+
+// CheckInvariants validates bitmap/extent consistency.
+func (fs *FS) CheckInvariants() error {
+	used := make(map[int64]FileID)
+	for id, ex := range fs.files {
+		for _, e := range ex {
+			if e.Start < 0 || e.Count <= 0 || e.Start+e.Count > fs.nblocks {
+				return fmt.Errorf("file %d: extent %+v out of range", id, e)
+			}
+			for b := e.Start; b < e.Start+e.Count; b++ {
+				if owner, dup := used[b]; dup {
+					return fmt.Errorf("block %d owned by files %d and %d", b, owner, id)
+				}
+				used[b] = id
+				if !fs.isSet(b) {
+					return fmt.Errorf("file %d block %d not marked in bitmap", id, b)
+				}
+			}
+		}
+	}
+	var setCount int64
+	for b := int64(0); b < fs.nblocks; b++ {
+		if fs.isSet(b) {
+			setCount++
+		}
+	}
+	if setCount != int64(len(used)) {
+		return fmt.Errorf("bitmap has %d set blocks, files own %d", setCount, len(used))
+	}
+	if fs.free != fs.nblocks-setCount {
+		return fmt.Errorf("free count %d, want %d", fs.free, fs.nblocks-setCount)
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package fsmodel
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func newFS(t *testing.T, blocks int64) *FS {
+	t.Helper()
+	fs, err := New(blocks*4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4096); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := New(4096, 0); err == nil {
+		t.Error("accepted zero block size")
+	}
+	fs := newFS(t, 100)
+	if fs.Blocks() != 100 || fs.FreeBlocks() != 100 || fs.BlockSize() != 4096 {
+		t.Fatalf("geometry: %d %d %d", fs.Blocks(), fs.FreeBlocks(), fs.BlockSize())
+	}
+}
+
+func TestCreateAppendDelete(t *testing.T) {
+	fs := newFS(t, 100)
+	id := fs.Create()
+	if !fs.Exists(id) {
+		t.Fatal("created file missing")
+	}
+	got, err := fs.Append(id, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 10 {
+		t.Fatalf("fresh FS should allocate one extent: %v", got)
+	}
+	if fs.FreeBlocks() != 90 {
+		t.Fatalf("free = %d", fs.FreeBlocks())
+	}
+	sz, err := fs.SizeBlocks(id)
+	if err != nil || sz != 10 {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+	freed, err := fs.Delete(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freed) != 1 || freed[0].Count != 10 {
+		t.Fatalf("freed extents: %v", freed)
+	}
+	if fs.FreeBlocks() != 100 || fs.Exists(id) {
+		t.Fatal("delete did not reclaim")
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := newFS(t, 10)
+	if _, err := fs.Append(999, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("append missing file: %v", err)
+	}
+	if _, err := fs.Delete(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("delete missing file: %v", err)
+	}
+	id := fs.Create()
+	if _, err := fs.Append(id, 0); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("zero append: %v", err)
+	}
+	if _, err := fs.Append(id, 11); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("oversized append: %v", err)
+	}
+	if _, err := fs.Extents(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("extents missing file: %v", err)
+	}
+	if _, err := fs.SizeBlocks(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("size missing file: %v", err)
+	}
+}
+
+func TestFragmentedAllocation(t *testing.T) {
+	fs := newFS(t, 12)
+	a := fs.Create()
+	b := fs.Create()
+	// Interleave allocations so deleting a leaves holes.
+	for i := 0; i < 3; i++ {
+		if _, err := fs.Append(a, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Append(b, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	c := fs.Create()
+	got, err := fs.Append(c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("expected fragmented allocation, got %v", got)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextFitRotates(t *testing.T) {
+	fs := newFS(t, 100)
+	a := fs.Create()
+	fs.Append(a, 10)
+	fs.Delete(a)
+	b := fs.Create()
+	got, err := fs.Append(b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Next-fit resumes past the first allocation instead of reusing it
+	// immediately.
+	if got[0].Start == 0 {
+		t.Fatalf("next-fit reused blocks immediately: %v", got)
+	}
+}
+
+func TestMergeExtents(t *testing.T) {
+	in := []Extent{{Start: 10, Count: 5}, {Start: 0, Count: 5}, {Start: 5, Count: 5}, {Start: 20, Count: 1}}
+	want := []Extent{{Start: 0, Count: 15}, {Start: 20, Count: 1}}
+	if got := MergeExtents(in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeExtents = %v, want %v", got, want)
+	}
+	if MergeExtents(nil) != nil {
+		t.Fatal("empty merge not nil")
+	}
+	// Overlapping extents collapse.
+	over := []Extent{{Start: 0, Count: 10}, {Start: 5, Count: 3}}
+	if got := MergeExtents(over); len(got) != 1 || got[0].Count != 10 {
+		t.Fatalf("overlap merge = %v", got)
+	}
+}
+
+func TestExtentBytes(t *testing.T) {
+	off, size := Extent{Start: 3, Count: 2}.Bytes(4096)
+	if off != 3*4096 || size != 2*4096 {
+		t.Fatalf("Bytes = %d, %d", off, size)
+	}
+}
+
+// Property: any sequence of create/append/delete keeps the bitmap, free
+// count, and extent ownership consistent, and blocks are never shared.
+func TestFSInvariantProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		fs, err := New(256*4096, 4096)
+		if err != nil {
+			return false
+		}
+		var ids []FileID
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				ids = append(ids, fs.Create())
+			case 1:
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(op>>2)%len(ids)]
+				n := int64(op>>8)%8 + 1
+				if _, err := fs.Append(id, n); err != nil &&
+					!errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 2:
+				if len(ids) == 0 {
+					continue
+				}
+				i := int(op>>2) % len(ids)
+				if _, err := fs.Delete(ids[i]); err != nil && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				ids = append(ids[:i], ids[i+1:]...)
+			}
+		}
+		return fs.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Append returns extents whose total equals the request, and
+// they are disjoint from all other live extents.
+func TestAppendExactProperty(t *testing.T) {
+	prop := func(sizes []uint8) bool {
+		fs, err := New(1024*4096, 4096)
+		if err != nil {
+			return false
+		}
+		owned := map[int64]bool{}
+		for _, s := range sizes {
+			n := int64(s)%16 + 1
+			id := fs.Create()
+			got, err := fs.Append(id, n)
+			if errors.Is(err, ErrNoSpace) {
+				return true
+			}
+			if err != nil {
+				return false
+			}
+			var total int64
+			for _, e := range got {
+				total += e.Count
+				for b := e.Start; b < e.Start+e.Count; b++ {
+					if owned[b] {
+						return false
+					}
+					owned[b] = true
+				}
+			}
+			if total != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Fatal(err)
+	}
+}

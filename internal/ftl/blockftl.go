@@ -1,0 +1,448 @@
+package ftl
+
+import (
+	"fmt"
+
+	"ossd/internal/flash"
+	"ossd/internal/sim"
+)
+
+// Block is a block-mapped FTL: the mapping table has one entry per
+// logical *block* (PagesPerBlock pages), which is why early, cheap
+// controllers used it — the table fits in tiny SRAM. The cost is the
+// paper's §3.4 "read-modify-erase-write cycle": any write that does not
+// extend the block sequentially rewrites the whole block into a fresh
+// erase unit.
+type Block struct {
+	cfg Config
+	pkg *flash.Package
+
+	ppb     int
+	logical int // logical pages
+
+	blockMap []int32 // lbn -> physical block, -1 unmapped
+	// written marks logical pages the host has stored (merges program
+	// padding pages to satisfy in-order constraints; those must not read
+	// back as live data). dead marks informed-freed pages.
+	written, dead []bool
+
+	// repl holds open replacement blocks: a sequential overwrite starting
+	// at page 0 appends to a fresh block, and a "switch merge" retires
+	// the old block when the replacement completes (or is closed). This
+	// is what keeps sequential overwrites cheap on block-mapped FTLs.
+	repl      map[int]int32 // lbn -> physical block
+	replOrder []int         // open order, for bounded-pool eviction
+
+	freeBlocks []int
+	stats      Stats
+}
+
+// maxReplacementBlocks bounds concurrently open replacement blocks, like
+// the small SRAM-tracked set a real controller keeps.
+const maxReplacementBlocks = 4
+
+// NewBlock builds a block-mapped FTL over a fresh package.
+func NewBlock(cfg Config) (*Block, error) {
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EraseBudget == 0 {
+		cfg.EraseBudget = flash.EraseBudgetFor(flash.SLC)
+	}
+	if cfg.Geom.BlocksPerPackage < 3 {
+		return nil, fmt.Errorf("ftl: need at least 3 blocks, got %d", cfg.Geom.BlocksPerPackage)
+	}
+	pkg, err := flash.NewPackage(cfg.Geom, cfg.Timing, cfg.EraseBudget)
+	if err != nil {
+		return nil, err
+	}
+	// One spare block for the merge destination; the rest are logical.
+	logicalBlocks := cfg.Geom.BlocksPerPackage - 1
+	if op := int(float64(cfg.Geom.BlocksPerPackage) * cfg.Overprovision); op > 1 {
+		logicalBlocks = cfg.Geom.BlocksPerPackage - op
+	}
+	b := &Block{
+		cfg:      cfg,
+		pkg:      pkg,
+		ppb:      cfg.Geom.PagesPerBlock,
+		logical:  logicalBlocks * cfg.Geom.PagesPerBlock,
+		blockMap: make([]int32, logicalBlocks),
+		written:  make([]bool, logicalBlocks*cfg.Geom.PagesPerBlock),
+		dead:     make([]bool, logicalBlocks*cfg.Geom.PagesPerBlock),
+		repl:     make(map[int]int32),
+	}
+	for i := range b.blockMap {
+		b.blockMap[i] = -1
+	}
+	for pb := cfg.Geom.BlocksPerPackage - 1; pb >= 0; pb-- {
+		b.freeBlocks = append(b.freeBlocks, pb)
+	}
+	return b, nil
+}
+
+// LogicalPages implements Backend.
+func (b *Block) LogicalPages() int { return b.logical }
+
+// PageSize implements Backend.
+func (b *Block) PageSize() int { return b.cfg.Geom.PageSize }
+
+// FreeFraction implements Backend.
+func (b *Block) FreeFraction() float64 {
+	free := len(b.freeBlocks) * b.ppb
+	for _, rp := range b.repl {
+		free += b.ppb - b.pkg.WritePointer(int(rp))
+	}
+	return float64(free) / float64(b.cfg.Geom.Pages())
+}
+
+// Mapped implements Backend.
+func (b *Block) Mapped(lpn int) bool {
+	return lpn >= 0 && lpn < b.logical && b.written[lpn] && !b.dead[lpn]
+}
+
+// Stats implements Backend.
+func (b *Block) Stats() Stats { return b.stats }
+
+// Wear implements Backend.
+func (b *Block) Wear() flash.WearStats { return b.pkg.Wear() }
+
+// CanClean implements Backend: block mapping merges inline, there is no
+// deferred garbage.
+func (b *Block) CanClean() bool { return false }
+
+// CleanOnce implements Backend.
+func (b *Block) CleanOnce() (sim.Time, error) { return 0, ErrNoSpace }
+
+func (b *Block) checkLPN(lpn int) error {
+	if lpn < 0 || lpn >= b.logical {
+		return fmt.Errorf("%w: lpn %d of %d", ErrOutOfRange, lpn, b.logical)
+	}
+	return nil
+}
+
+func (b *Block) allocBlock() (int, error) {
+	if len(b.freeBlocks) == 0 {
+		return 0, ErrNoSpace
+	}
+	pb := b.freeBlocks[0]
+	b.freeBlocks = b.freeBlocks[1:]
+	return pb, nil
+}
+
+// ReadPage implements Backend.
+func (b *Block) ReadPage(lpn int) (sim.Time, error) {
+	if err := b.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	b.stats.HostReads++
+	if !b.Mapped(lpn) {
+		return sim.Time(b.cfg.Geom.PageSize) * b.cfg.Timing.BusPerByte, nil
+	}
+	lbn, off := lpn/b.ppb, lpn%b.ppb
+	// The replacement block holds the newest copies of its prefix.
+	if rp, ok := b.repl[lbn]; ok && off < b.pkg.WritePointer(int(rp)) {
+		return b.pkg.ReadPage(int(rp), off)
+	}
+	return b.pkg.ReadPage(int(b.blockMap[lbn]), off)
+}
+
+// WritePage implements Backend. Sequential extension programs in place;
+// anything else is a full-block read-merge-write into a fresh block.
+func (b *Block) WritePage(lpn int) (sim.Time, error) {
+	if err := b.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	b.stats.HostWrites++
+	b.written[lpn] = true
+	b.dead[lpn] = false
+	lbn, off := lpn/b.ppb, lpn%b.ppb
+	// Append to an open replacement block when the write continues it.
+	if rp, ok := b.repl[lbn]; ok {
+		if b.pkg.WritePointer(int(rp)) == off {
+			d, err := b.pkg.ProgramPage(int(rp), off)
+			if err != nil {
+				return d, err
+			}
+			if off == b.ppb-1 {
+				d2, err := b.closeReplacement(lbn)
+				return d + d2, err
+			}
+			return d, nil
+		}
+		// Out-of-order against the replacement: close it, then retry the
+		// write against the merged block.
+		d, err := b.closeReplacement(lbn)
+		if err != nil {
+			return d, err
+		}
+		b.stats.HostWrites-- // the recursive call re-counts
+		d2, err := b.WritePage(lpn)
+		return d + d2, err
+	}
+	pb := b.blockMap[lbn]
+	if pb != -1 && b.pkg.WritePointer(int(pb)) == off {
+		return b.pkg.ProgramPage(int(pb), off)
+	}
+	// A rewrite starting at page 0 of a mapped block opens a replacement
+	// block: sequential overwrites then cost one program per page.
+	if pb != -1 && off == 0 {
+		d, err := b.openReplacement(lbn)
+		if err != nil {
+			return d, err
+		}
+		d2, err := b.pkg.ProgramPage(int(b.repl[lbn]), 0)
+		return d + d2, err
+	}
+	if pb == -1 {
+		if off == 0 {
+			npb, err := b.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			d, err := b.pkg.ProgramPage(npb, 0)
+			if err != nil {
+				return d, err
+			}
+			b.blockMap[lbn] = int32(npb)
+			return d, nil
+		}
+		// First write lands mid-block: allocate and fill the gap with
+		// padding programs (the controller writes zeros to satisfy
+		// in-order programming).
+		npb, err := b.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		var total sim.Time
+		for k := 0; k <= off; k++ {
+			d, err := b.pkg.ProgramPage(npb, k)
+			total += d
+			if err != nil {
+				return total, err
+			}
+		}
+		b.blockMap[lbn] = int32(npb)
+		return total, nil
+	}
+	return b.merge(lbn, off)
+}
+
+// openReplacement allocates a replacement block for lbn, evicting the
+// oldest open replacement when the pool is full.
+func (b *Block) openReplacement(lbn int) (sim.Time, error) {
+	var total sim.Time
+	// Keep the pool bounded AND leave at least one free block as the
+	// merge spare; otherwise a random write could find no destination.
+	for len(b.replOrder) > 0 && (len(b.replOrder) >= maxReplacementBlocks || len(b.freeBlocks) < 2) {
+		d, err := b.closeReplacement(b.replOrder[0])
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	if len(b.freeBlocks) < 2 {
+		return total, ErrNoSpace
+	}
+	npb, err := b.allocBlock()
+	if err != nil {
+		return total, err
+	}
+	b.repl[lbn] = int32(npb)
+	b.replOrder = append(b.replOrder, lbn)
+	return total, nil
+}
+
+// closeReplacement finalizes lbn's replacement block: pages beyond its
+// write pointer are copied from the old block (a partial merge; a full
+// replacement is a free "switch merge"), the old block is erased, and
+// the replacement becomes the data block.
+func (b *Block) closeReplacement(lbn int) (sim.Time, error) {
+	rp, ok := b.repl[lbn]
+	if !ok {
+		return 0, nil
+	}
+	delete(b.repl, lbn)
+	for i, l := range b.replOrder {
+		if l == lbn {
+			b.replOrder = append(b.replOrder[:i], b.replOrder[i+1:]...)
+			break
+		}
+	}
+	old := b.blockMap[lbn]
+	wp := b.pkg.WritePointer(int(rp))
+	oldWP := 0
+	if old != -1 {
+		oldWP = b.pkg.WritePointer(int(old))
+	}
+	var total sim.Time
+	copied := false
+	for k := wp; k < oldWP; k++ {
+		lpn := lbn*b.ppb + k
+		if b.written[lpn] && !b.dead[lpn] {
+			d, err := b.pkg.ReadPage(int(old), k)
+			total += d
+			if err != nil {
+				return total, err
+			}
+			b.stats.PagesMoved++
+			copied = true
+		}
+		// Program regardless to keep the block in-order up to oldWP.
+		d, err := b.pkg.ProgramPage(int(rp), k)
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	if old != -1 {
+		d, err := b.pkg.EraseBlock(int(old))
+		total += d
+		if err != nil {
+			return total, err
+		}
+		b.freeBlocks = append(b.freeBlocks, int(old))
+		b.stats.GCErases++
+	}
+	b.blockMap[lbn] = rp
+	if copied || old != -1 {
+		b.stats.Cleans++
+		b.stats.CleanTime += total
+	}
+	return total, nil
+}
+
+// merge rewrites logical block lbn into a fresh physical block with page
+// `off` replaced by new data, then erases the old block. The extra page
+// copies and the erase are charged as cleaning work.
+func (b *Block) merge(lbn, off int) (sim.Time, error) {
+	old := int(b.blockMap[lbn])
+	oldWP := b.pkg.WritePointer(old)
+	top := oldWP
+	if off+1 > top {
+		top = off + 1
+	}
+	npb, err := b.allocBlock()
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Time
+	for k := 0; k < top; k++ {
+		lpn := lbn*b.ppb + k
+		if k != off && k < oldWP && b.written[lpn] && !b.dead[lpn] {
+			d, err := b.pkg.ReadPage(old, k)
+			total += d
+			if err != nil {
+				return total, err
+			}
+			b.stats.PagesMoved++
+		}
+		d, err := b.pkg.ProgramPage(npb, k)
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	d, err := b.pkg.EraseBlock(old)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	b.freeBlocks = append(b.freeBlocks, old)
+	b.blockMap[lbn] = int32(npb)
+	b.stats.Cleans++
+	b.stats.GCErases++
+	// The host page itself is not cleaning work; the rest of the merge is.
+	b.stats.CleanTime += total - b.cfg.Timing.PageProgram
+	return total, nil
+}
+
+// Free implements Backend. Informed mode marks pages dead so merges skip
+// them; whole-dead blocks are reclaimed immediately.
+func (b *Block) Free(lpn int) error {
+	if err := b.checkLPN(lpn); err != nil {
+		return err
+	}
+	b.stats.FreesSeen++
+	if !b.cfg.Informed {
+		return nil
+	}
+	if !b.Mapped(lpn) {
+		return nil
+	}
+	b.dead[lpn] = true
+	b.stats.FreesApplied++
+	lbn := lpn / b.ppb
+	for k := 0; k < b.ppb; k++ {
+		if b.Mapped(lbn*b.ppb + k) {
+			return nil
+		}
+	}
+	// Every live page of the block is dead: release the data block and
+	// any open replacement.
+	if rp, ok := b.repl[lbn]; ok {
+		delete(b.repl, lbn)
+		for i, l := range b.replOrder {
+			if l == lbn {
+				b.replOrder = append(b.replOrder[:i], b.replOrder[i+1:]...)
+				break
+			}
+		}
+		if _, err := b.pkg.EraseBlock(int(rp)); err != nil {
+			return err
+		}
+		b.freeBlocks = append(b.freeBlocks, int(rp))
+		b.stats.GCErases++
+	}
+	if old := b.blockMap[lbn]; old != -1 {
+		if _, err := b.pkg.EraseBlock(int(old)); err != nil {
+			return err
+		}
+		b.freeBlocks = append(b.freeBlocks, int(old))
+		b.blockMap[lbn] = -1
+		b.stats.GCErases++
+		for k := 0; k < b.ppb; k++ {
+			b.written[lbn*b.ppb+k] = false
+			b.dead[lbn*b.ppb+k] = false
+		}
+	}
+	return nil
+}
+
+// CheckInvariants implements Backend.
+func (b *Block) CheckInvariants() error {
+	seen := make(map[int]bool)
+	if len(b.repl) != len(b.replOrder) {
+		return fmt.Errorf("replacement map/order out of sync: %d vs %d", len(b.repl), len(b.replOrder))
+	}
+	for lbn, rp := range b.repl {
+		if seen[int(rp)] {
+			return fmt.Errorf("replacement block %d claimed twice", rp)
+		}
+		seen[int(rp)] = true
+		if b.blockMap[lbn] == rp {
+			return fmt.Errorf("lbn %d: replacement equals data block", lbn)
+		}
+	}
+	for lbn, pb := range b.blockMap {
+		if pb == -1 {
+			continue
+		}
+		if seen[int(pb)] {
+			return fmt.Errorf("physical block %d mapped twice", pb)
+		}
+		seen[int(pb)] = true
+		if int(pb) < 0 || int(pb) >= b.cfg.Geom.BlocksPerPackage {
+			return fmt.Errorf("lbn %d maps out of range: %d", lbn, pb)
+		}
+	}
+	for _, pb := range b.freeBlocks {
+		if seen[pb] {
+			return fmt.Errorf("block %d both mapped and free", pb)
+		}
+		if b.pkg.WritePointer(pb) != 0 {
+			return fmt.Errorf("free block %d not erased", pb)
+		}
+		seen[pb] = true
+	}
+	return nil
+}

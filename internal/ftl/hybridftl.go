@@ -1,0 +1,412 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"ossd/internal/flash"
+	"ossd/internal/sim"
+)
+
+// Hybrid is a FAST-style log-block FTL: data blocks are block-mapped (so
+// the mapping table stays small), and a small pool of page-mapped log
+// blocks absorbs writes that cannot extend a data block in place. When
+// the pool fills, the oldest log block is merged: every logical block
+// with copies in it is rebuilt into a fresh physical block. Hybrid FTLs
+// sit between the page-mapped and block-mapped extremes on random-write
+// cost, which is exactly where most 2009-era consumer SSDs lived.
+type Hybrid struct {
+	cfg Config
+	pkg *flash.Package
+
+	ppb     int
+	logical int
+
+	dataMap []int32 // lbn -> physical data block, -1
+	// logMap holds the newest out-of-place copy per lpn.
+	logMap map[int]logLoc
+	// logBlocks is the allocation order of live log blocks (oldest
+	// first); owners[i][page] records which lpn each slot holds.
+	logBlocks []int
+	owners    map[int][]int32
+
+	// written marks host-stored logical pages (merge padding must not
+	// read back as data); dead marks informed-freed pages.
+	written, dead []bool
+
+	maxLog     int
+	freeBlocks []int
+	stats      Stats
+}
+
+type logLoc struct {
+	block int
+	page  int
+}
+
+// NewHybrid builds a hybrid log-block FTL. The log pool is the
+// over-provisioned share of blocks (minimum 2, plus one merge spare).
+func NewHybrid(cfg Config) (*Hybrid, error) {
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EraseBudget == 0 {
+		cfg.EraseBudget = flash.EraseBudgetFor(flash.SLC)
+	}
+	if cfg.Geom.BlocksPerPackage < 6 {
+		return nil, fmt.Errorf("ftl: hybrid needs at least 6 blocks, got %d", cfg.Geom.BlocksPerPackage)
+	}
+	pkg, err := flash.NewPackage(cfg.Geom, cfg.Timing, cfg.EraseBudget)
+	if err != nil {
+		return nil, err
+	}
+	maxLog := int(float64(cfg.Geom.BlocksPerPackage) * cfg.Overprovision)
+	if maxLog < 2 {
+		maxLog = 2
+	}
+	logicalBlocks := cfg.Geom.BlocksPerPackage - maxLog - 1 // one merge spare
+	if logicalBlocks < 1 {
+		return nil, fmt.Errorf("ftl: hybrid geometry too small")
+	}
+	h := &Hybrid{
+		cfg:     cfg,
+		pkg:     pkg,
+		ppb:     cfg.Geom.PagesPerBlock,
+		logical: logicalBlocks * cfg.Geom.PagesPerBlock,
+		dataMap: make([]int32, logicalBlocks),
+		logMap:  make(map[int]logLoc),
+		owners:  make(map[int][]int32),
+		written: make([]bool, logicalBlocks*cfg.Geom.PagesPerBlock),
+		dead:    make([]bool, logicalBlocks*cfg.Geom.PagesPerBlock),
+		maxLog:  maxLog,
+	}
+	for i := range h.dataMap {
+		h.dataMap[i] = -1
+	}
+	for pb := cfg.Geom.BlocksPerPackage - 1; pb >= 0; pb-- {
+		h.freeBlocks = append(h.freeBlocks, pb)
+	}
+	return h, nil
+}
+
+// LogicalPages implements Backend.
+func (h *Hybrid) LogicalPages() int { return h.logical }
+
+// PageSize implements Backend.
+func (h *Hybrid) PageSize() int { return h.cfg.Geom.PageSize }
+
+// FreeFraction implements Backend.
+func (h *Hybrid) FreeFraction() float64 {
+	free := len(h.freeBlocks) * h.ppb
+	if n := len(h.logBlocks); n > 0 {
+		cur := h.logBlocks[n-1]
+		free += h.ppb - h.pkg.WritePointer(cur)
+	}
+	return float64(free) / float64(h.cfg.Geom.Pages())
+}
+
+// Mapped implements Backend.
+func (h *Hybrid) Mapped(lpn int) bool {
+	return lpn >= 0 && lpn < h.logical && h.written[lpn] && !h.dead[lpn]
+}
+
+// Stats implements Backend.
+func (h *Hybrid) Stats() Stats { return h.stats }
+
+// Wear implements Backend.
+func (h *Hybrid) Wear() flash.WearStats { return h.pkg.Wear() }
+
+// CanClean reports whether evicting a log block could reclaim space.
+func (h *Hybrid) CanClean() bool { return len(h.logBlocks) > 1 }
+
+// CleanOnce evicts the oldest log block.
+func (h *Hybrid) CleanOnce() (sim.Time, error) {
+	if len(h.logBlocks) == 0 {
+		return 0, ErrNoSpace
+	}
+	return h.evictOldest()
+}
+
+func (h *Hybrid) checkLPN(lpn int) error {
+	if lpn < 0 || lpn >= h.logical {
+		return fmt.Errorf("%w: lpn %d of %d", ErrOutOfRange, lpn, h.logical)
+	}
+	return nil
+}
+
+func (h *Hybrid) allocBlock() (int, error) {
+	if len(h.freeBlocks) == 0 {
+		return 0, ErrNoSpace
+	}
+	pb := h.freeBlocks[0]
+	h.freeBlocks = h.freeBlocks[1:]
+	return pb, nil
+}
+
+// ReadPage implements Backend: the newest copy wins (log over data).
+func (h *Hybrid) ReadPage(lpn int) (sim.Time, error) {
+	if err := h.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	h.stats.HostReads++
+	if !h.Mapped(lpn) {
+		return sim.Time(h.cfg.Geom.PageSize) * h.cfg.Timing.BusPerByte, nil
+	}
+	if loc, ok := h.logMap[lpn]; ok {
+		return h.pkg.ReadPage(loc.block, loc.page)
+	}
+	lbn, off := lpn/h.ppb, lpn%h.ppb
+	pb := h.dataMap[lbn]
+	if pb == -1 || off >= h.pkg.WritePointer(int(pb)) {
+		return sim.Time(h.cfg.Geom.PageSize) * h.cfg.Timing.BusPerByte, nil
+	}
+	return h.pkg.ReadPage(int(pb), off)
+}
+
+// WritePage implements Backend.
+func (h *Hybrid) WritePage(lpn int) (sim.Time, error) {
+	if err := h.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	h.stats.HostWrites++
+	h.written[lpn] = true
+	h.dead[lpn] = false
+	lbn, off := lpn/h.ppb, lpn%h.ppb
+	pb := h.dataMap[lbn]
+	// In-place sequential extension of the data block, but only when no
+	// newer log copy would be shadowed.
+	if _, logged := h.logMap[lpn]; !logged {
+		if pb != -1 && h.pkg.WritePointer(int(pb)) == off {
+			return h.pkg.ProgramPage(int(pb), off)
+		}
+		if pb == -1 && off == 0 {
+			npb, err := h.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			d, err := h.pkg.ProgramPage(npb, 0)
+			if err != nil {
+				return d, err
+			}
+			h.dataMap[lbn] = int32(npb)
+			return d, nil
+		}
+	}
+	return h.logWrite(lpn)
+}
+
+// logWrite appends the page to the current log block, evicting the
+// oldest log block first if the pool is exhausted.
+func (h *Hybrid) logWrite(lpn int) (sim.Time, error) {
+	var total sim.Time
+	cur := -1
+	if n := len(h.logBlocks); n > 0 {
+		if c := h.logBlocks[n-1]; h.pkg.WritePointer(c) < h.ppb {
+			cur = c
+		}
+	}
+	if cur == -1 {
+		if len(h.logBlocks) >= h.maxLog {
+			d, err := h.evictOldest()
+			total += d
+			if err != nil {
+				return total, err
+			}
+		}
+		npb, err := h.allocBlock()
+		if err != nil {
+			return total, err
+		}
+		h.logBlocks = append(h.logBlocks, npb)
+		own := make([]int32, h.ppb)
+		for i := range own {
+			own[i] = -1
+		}
+		h.owners[npb] = own
+		cur = npb
+	}
+	page := h.pkg.WritePointer(cur)
+	d, err := h.pkg.ProgramPage(cur, page)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	// Supersede any older log copy.
+	h.logMap[lpn] = logLoc{block: cur, page: page}
+	h.owners[cur][page] = int32(lpn)
+	return total, nil
+}
+
+// evictOldest merges the oldest log block: every logical block with a
+// copy in it is rebuilt (full merge), consuming all log copies of those
+// blocks wherever they live. All work is charged as cleaning.
+func (h *Hybrid) evictOldest() (sim.Time, error) {
+	victim := h.logBlocks[0]
+	var total sim.Time
+	lbns := map[int]bool{}
+	for page, lpn := range h.owners[victim] {
+		if lpn == -1 {
+			continue
+		}
+		// Only pages whose mapping still points here are live.
+		if loc, ok := h.logMap[int(lpn)]; ok && loc.block == victim && loc.page == page {
+			lbns[int(lpn)/h.ppb] = true
+		}
+	}
+	// Deterministic merge order: map iteration order would make physical
+	// block placement (and therefore long-run wear) vary between runs.
+	order := make([]int, 0, len(lbns))
+	for lbn := range lbns {
+		order = append(order, lbn)
+	}
+	sort.Ints(order)
+	for _, lbn := range order {
+		d, err := h.mergeLBN(lbn)
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	d, err := h.pkg.EraseBlock(victim)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	delete(h.owners, victim)
+	h.logBlocks = h.logBlocks[1:]
+	h.freeBlocks = append(h.freeBlocks, victim)
+	h.stats.Cleans++
+	h.stats.GCErases++
+	h.stats.CleanTime += total
+	return total, nil
+}
+
+// mergeLBN rebuilds one logical block from its data block and all log
+// copies into a fresh physical block.
+func (h *Hybrid) mergeLBN(lbn int) (sim.Time, error) {
+	var total sim.Time
+	old := h.dataMap[lbn]
+	oldWP := 0
+	if old != -1 {
+		oldWP = h.pkg.WritePointer(int(old))
+	}
+	// Highest page that holds data from either source.
+	top := oldWP
+	for k := 0; k < h.ppb; k++ {
+		if _, ok := h.logMap[lbn*h.ppb+k]; ok && k+1 > top {
+			top = k + 1
+		}
+	}
+	if top == 0 {
+		return 0, nil
+	}
+	npb, err := h.allocBlock()
+	if err != nil {
+		return 0, err
+	}
+	for k := 0; k < top; k++ {
+		lpn := lbn*h.ppb + k
+		src := logLoc{block: -1}
+		if loc, ok := h.logMap[lpn]; ok {
+			src = loc
+		} else if old != -1 && k < oldWP {
+			src = logLoc{block: int(old), page: k}
+		}
+		if src.block != -1 && h.written[lpn] && !h.dead[lpn] {
+			d, err := h.pkg.ReadPage(src.block, src.page)
+			total += d
+			if err != nil {
+				return total, err
+			}
+			h.stats.PagesMoved++
+		}
+		d, err := h.pkg.ProgramPage(npb, k)
+		total += d
+		if err != nil {
+			return total, err
+		}
+		delete(h.logMap, lpn)
+	}
+	if old != -1 {
+		d, err := h.pkg.EraseBlock(int(old))
+		total += d
+		if err != nil {
+			return total, err
+		}
+		h.freeBlocks = append(h.freeBlocks, int(old))
+		h.stats.GCErases++
+	}
+	h.dataMap[lbn] = int32(npb)
+	return total, nil
+}
+
+// Free implements Backend: informed mode drops log copies and marks data
+// pages dead so merges skip them.
+func (h *Hybrid) Free(lpn int) error {
+	if err := h.checkLPN(lpn); err != nil {
+		return err
+	}
+	h.stats.FreesSeen++
+	if !h.cfg.Informed {
+		return nil
+	}
+	if !h.Mapped(lpn) {
+		return nil
+	}
+	h.dead[lpn] = true
+	delete(h.logMap, lpn)
+	h.stats.FreesApplied++
+	return nil
+}
+
+// CheckInvariants implements Backend.
+func (h *Hybrid) CheckInvariants() error {
+	used := map[int]string{}
+	claim := func(pb int, role string) error {
+		if prev, ok := used[pb]; ok {
+			return fmt.Errorf("block %d is both %s and %s", pb, prev, role)
+		}
+		used[pb] = role
+		return nil
+	}
+	for lbn, pb := range h.dataMap {
+		if pb == -1 {
+			continue
+		}
+		if err := claim(int(pb), fmt.Sprintf("data(%d)", lbn)); err != nil {
+			return err
+		}
+	}
+	for _, pb := range h.logBlocks {
+		if err := claim(pb, "log"); err != nil {
+			return err
+		}
+		if h.owners[pb] == nil {
+			return fmt.Errorf("log block %d has no owner table", pb)
+		}
+	}
+	for _, pb := range h.freeBlocks {
+		if err := claim(pb, "free"); err != nil {
+			return err
+		}
+		if h.pkg.WritePointer(pb) != 0 {
+			return fmt.Errorf("free block %d not erased", pb)
+		}
+	}
+	if len(h.logBlocks) > h.maxLog {
+		return fmt.Errorf("log pool %d exceeds limit %d", len(h.logBlocks), h.maxLog)
+	}
+	for lpn, loc := range h.logMap {
+		own := h.owners[loc.block]
+		if own == nil {
+			return fmt.Errorf("lpn %d maps to non-log block %d", lpn, loc.block)
+		}
+		if own[loc.page] != int32(lpn) {
+			return fmt.Errorf("lpn %d log slot owned by %d", lpn, own[loc.page])
+		}
+		if loc.page >= h.pkg.WritePointer(loc.block) {
+			return fmt.Errorf("lpn %d log copy beyond write pointer", lpn)
+		}
+	}
+	return nil
+}

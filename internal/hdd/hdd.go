@@ -1,0 +1,401 @@
+// Package hdd models a 7200 RPM hard disk for the paper's Table 2
+// baseline: a seek-time curve, rotational position tracking, zoned
+// recording (outer tracks transfer faster), and a write-back cache that
+// drains in CLOOK (elevator) order — the mechanism behind the Barracuda's
+// random-write bandwidth exceeding its random-read bandwidth.
+package hdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ossd/internal/sim"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+)
+
+// Config describes the disk.
+type Config struct {
+	// CapacityBytes is the formatted capacity.
+	CapacityBytes int64
+	// Cylinders is the number of seek positions.
+	Cylinders int
+	// Zones is the number of recording zones; zone 0 is outermost and
+	// fastest.
+	Zones int
+	// RPM is the spindle speed.
+	RPM int
+	// MaxTransferMBps is the outer-zone media rate in MB/s; the inner
+	// zone runs at roughly 55% of it, matching typical 3.5" drives.
+	MaxTransferMBps float64
+	// TrackToTrack, FullStroke are seek-curve anchors.
+	TrackToTrack, FullStroke sim.Time
+	// CacheBytes is the write-back cache size (0 disables write caching).
+	CacheBytes int64
+	// CacheLatency is the host-visible latency of a cache-absorbed write.
+	CacheLatency sim.Time
+}
+
+// Barracuda7200 returns parameters approximating the Seagate Barracuda
+// 7200.11 used in the paper's Table 2.
+func Barracuda7200() Config {
+	return Config{
+		CapacityBytes:   500e9,
+		Cylinders:       150_000,
+		Zones:           16,
+		RPM:             7200,
+		MaxTransferMBps: 87,
+		TrackToTrack:    800 * sim.Microsecond,
+		FullStroke:      18 * sim.Millisecond,
+		CacheBytes:      16 << 20,
+		CacheLatency:    100 * sim.Microsecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.CapacityBytes <= 0 || c.Cylinders <= 0 || c.RPM <= 0 || c.MaxTransferMBps <= 0 {
+		return fmt.Errorf("hdd: invalid config %+v", *c)
+	}
+	if c.Zones <= 0 {
+		c.Zones = 1
+	}
+	return nil
+}
+
+// Metrics accumulates disk measurements.
+type Metrics struct {
+	Completed               int64
+	ReadResp, WriteResp     stats.Histogram // milliseconds
+	BytesRead, BytesWritten int64
+	CacheHits               int64
+	Seeks                   int64
+}
+
+// cacheEntry is one dirty range in the write-back cache.
+type cacheEntry struct {
+	off, size int64
+}
+
+// Disk is the simulated drive. Like ssd.Device it is driven entirely by a
+// sim.Engine and is single-threaded.
+type Disk struct {
+	cfg Config
+	eng *sim.Engine
+
+	revTime     sim.Time
+	bytesPerCyl float64 // average, used for LBA->cylinder mapping per zone
+	zoneRate    []float64
+	zoneStart   []int64 // starting byte of each zone
+	zoneCyls    int
+
+	headCyl   int
+	busy      bool
+	lastEnd   int64 // end offset of the previous media access (for sequential detection)
+	reads     []*Request
+	cache     []cacheEntry // sorted by offset
+	cacheUsed int64
+	waitWr    []*Request // writes blocked on cache space
+
+	met Metrics
+}
+
+// Request mirrors the ssd request lifecycle for the disk.
+type Request struct {
+	Op                  trace.Op
+	Arrive, Start, Done sim.Time
+	onDone              func(*Request)
+}
+
+// Response returns completion minus arrival.
+func (r *Request) Response() sim.Time { return r.Done - r.Arrive }
+
+// New builds a disk on the engine.
+func New(eng *sim.Engine, cfg Config) (*Disk, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Disk{cfg: cfg, eng: eng}
+	d.revTime = sim.Time(60e9 / float64(cfg.RPM))
+	d.zoneCyls = cfg.Cylinders / cfg.Zones
+	// Zone media rates fall linearly from max (outer) to 55% (inner).
+	d.zoneRate = make([]float64, cfg.Zones)
+	total := 0.0
+	for z := 0; z < cfg.Zones; z++ {
+		frac := 1 - 0.45*float64(z)/float64(max(cfg.Zones-1, 1))
+		d.zoneRate[z] = cfg.MaxTransferMBps * 1e6 * frac
+		total += frac
+	}
+	// Bytes per zone proportional to its rate (same cylinders per zone,
+	// density ∝ rate).
+	d.zoneStart = make([]int64, cfg.Zones+1)
+	var acc float64
+	for z := 0; z < cfg.Zones; z++ {
+		d.zoneStart[z] = int64(acc / total * float64(cfg.CapacityBytes))
+		acc += 1 - 0.45*float64(z)/float64(max(cfg.Zones-1, 1))
+	}
+	d.zoneStart[cfg.Zones] = cfg.CapacityBytes
+	return d, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Engine returns the driving engine.
+func (d *Disk) Engine() *sim.Engine { return d.eng }
+
+// LogicalBytes reports the capacity.
+func (d *Disk) LogicalBytes() int64 { return d.cfg.CapacityBytes }
+
+// Metrics returns a snapshot.
+func (d *Disk) Metrics() Metrics { return d.met }
+
+// zoneOf maps a byte offset to its zone.
+func (d *Disk) zoneOf(off int64) int {
+	z := sort.Search(d.cfg.Zones, func(i int) bool { return d.zoneStart[i+1] > off })
+	if z >= d.cfg.Zones {
+		z = d.cfg.Zones - 1
+	}
+	return z
+}
+
+// cylOf maps a byte offset to a cylinder.
+func (d *Disk) cylOf(off int64) int {
+	z := d.zoneOf(off)
+	zBytes := d.zoneStart[z+1] - d.zoneStart[z]
+	within := float64(off-d.zoneStart[z]) / float64(zBytes)
+	return z*d.zoneCyls + int(within*float64(d.zoneCyls))
+}
+
+// seekTime models the seek curve through the two anchor points: a
+// sqrt-dominated short-seek region and a linear long-seek region.
+func (d *Disk) seekTime(fromCyl, toCyl int) sim.Time {
+	dist := fromCyl - toCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	frac := float64(dist) / float64(d.cfg.Cylinders)
+	t := float64(d.cfg.TrackToTrack) +
+		0.25*float64(d.cfg.FullStroke)*math.Sqrt(frac) +
+		0.70*float64(d.cfg.FullStroke)*frac
+	return sim.Time(t)
+}
+
+// rotTime returns the rotational delay to reach the target offset's
+// angular position given the current time.
+func (d *Disk) rotTime(off int64, at sim.Time) sim.Time {
+	// Angular position of the target sector: proportional to its byte
+	// position within its (approximate) track.
+	z := d.zoneOf(off)
+	trackBytes := d.zoneRate[z] * d.revTime.Seconds()
+	target := math.Mod(float64(off), trackBytes) / trackBytes
+	head := math.Mod(float64(at), float64(d.revTime)) / float64(d.revTime)
+	delta := target - head
+	if delta < 0 {
+		delta++
+	}
+	return sim.Time(delta * float64(d.revTime))
+}
+
+// xferTime is the media transfer time for size bytes at the offset's zone
+// rate.
+func (d *Disk) xferTime(off, size int64) sim.Time {
+	return sim.Time(float64(size) / d.zoneRate[d.zoneOf(off)] * 1e9)
+}
+
+// serviceTime computes one media access: sequential continuation skips
+// the mechanical delays entirely.
+func (d *Disk) serviceTime(off, size int64) sim.Time {
+	if off == d.lastEnd {
+		d.lastEnd = off + size
+		d.headCyl = d.cylOf(off + size)
+		return d.xferTime(off, size)
+	}
+	seek := d.seekTime(d.headCyl, d.cylOf(off))
+	d.met.Seeks++
+	rot := d.rotTime(off, d.eng.Now()+seek)
+	d.headCyl = d.cylOf(off)
+	d.lastEnd = off + size
+	return seek + rot + d.xferTime(off, size)
+}
+
+// Submit enqueues an operation at the current simulated time. Frees are
+// ignored by disks (no TRIM on this model) but complete successfully.
+func (d *Disk) Submit(op trace.Op, onDone func(*Request)) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	if op.End() > d.cfg.CapacityBytes {
+		return fmt.Errorf("hdd: request [%d, +%d) beyond capacity", op.Offset, op.Size)
+	}
+	req := &Request{Op: op, Arrive: d.eng.Now(), onDone: onDone}
+	switch op.Kind {
+	case trace.Free:
+		d.finish(req)
+	case trace.Read:
+		if d.cacheCovers(op.Offset, op.Size) {
+			d.met.CacheHits++
+			d.eng.After(d.cfg.CacheLatency, func() { d.finish(req) })
+			break
+		}
+		d.reads = append(d.reads, req)
+		d.pump()
+	case trace.Write:
+		if d.cfg.CacheBytes == 0 {
+			// Write-through: treat like a read-path media access.
+			d.reads = append(d.reads, req)
+			d.pump()
+			break
+		}
+		if d.cacheUsed+op.Size <= d.cfg.CacheBytes {
+			d.cacheInsert(op.Offset, op.Size)
+			d.eng.After(d.cfg.CacheLatency, func() { d.finish(req) })
+			d.pump()
+		} else {
+			d.waitWr = append(d.waitWr, req)
+			d.pump()
+		}
+	}
+	return nil
+}
+
+// Play replays a timestamped trace to completion.
+func (d *Disk) Play(ops []trace.Op) error {
+	var firstErr error
+	for _, op := range ops {
+		op := op
+		d.eng.At(op.At, func() {
+			if err := d.Submit(op, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	d.eng.Run()
+	return firstErr
+}
+
+// ClosedLoop keeps depth requests outstanding from gen.
+func (d *Disk) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
+	if depth <= 0 {
+		depth = 1
+	}
+	var firstErr error
+	i := 0
+	var issue func()
+	issue = func() {
+		op, ok := gen(i)
+		if !ok {
+			return
+		}
+		i++
+		if err := d.Submit(op, func(*Request) { issue() }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for k := 0; k < depth; k++ {
+		issue()
+	}
+	d.eng.Run()
+	return firstErr
+}
+
+func (d *Disk) finish(req *Request) {
+	req.Done = d.eng.Now()
+	d.met.Completed++
+	ms := req.Response().Millis()
+	switch req.Op.Kind {
+	case trace.Read:
+		d.met.ReadResp.Add(ms)
+		d.met.BytesRead += req.Op.Size
+	case trace.Write:
+		d.met.WriteResp.Add(ms)
+		d.met.BytesWritten += req.Op.Size
+	}
+	if req.onDone != nil {
+		req.onDone(req)
+	}
+}
+
+// pump serves the next piece of work: reads first, then cache drain.
+func (d *Disk) pump() {
+	if d.busy {
+		return
+	}
+	if len(d.reads) > 0 {
+		req := d.reads[0]
+		d.reads = d.reads[1:]
+		req.Start = d.eng.Now()
+		dur := d.serviceTime(req.Op.Offset, req.Op.Size)
+		d.busy = true
+		d.eng.After(dur, func() {
+			d.busy = false
+			d.finish(req)
+			d.pump()
+		})
+		return
+	}
+	if len(d.cache) > 0 {
+		e := d.nextDrain()
+		dur := d.serviceTime(e.off, e.size)
+		d.busy = true
+		d.eng.After(dur, func() {
+			d.busy = false
+			d.drained(e)
+			d.pump()
+		})
+	}
+}
+
+// cacheCovers reports whether a read range is entirely dirty in cache.
+func (d *Disk) cacheCovers(off, size int64) bool {
+	i := sort.Search(len(d.cache), func(i int) bool { return d.cache[i].off+d.cache[i].size > off })
+	return i < len(d.cache) && d.cache[i].off <= off && off+size <= d.cache[i].off+d.cache[i].size
+}
+
+// cacheInsert adds a dirty range, kept sorted by offset. Overlaps merge.
+func (d *Disk) cacheInsert(off, size int64) {
+	d.cacheUsed += size
+	i := sort.Search(len(d.cache), func(i int) bool { return d.cache[i].off >= off })
+	d.cache = append(d.cache, cacheEntry{})
+	copy(d.cache[i+1:], d.cache[i:])
+	d.cache[i] = cacheEntry{off: off, size: size}
+}
+
+// nextDrain picks the CLOOK victim: the first dirty entry at or beyond
+// the head's cylinder, wrapping to the lowest offset.
+func (d *Disk) nextDrain() cacheEntry {
+	headOff := d.lastEnd
+	i := sort.Search(len(d.cache), func(i int) bool { return d.cache[i].off >= headOff })
+	if i == len(d.cache) {
+		i = 0
+	}
+	return d.cache[i]
+}
+
+// drained removes a flushed entry and admits waiting writes.
+func (d *Disk) drained(e cacheEntry) {
+	for i := range d.cache {
+		if d.cache[i] == e {
+			d.cache = append(d.cache[:i], d.cache[i+1:]...)
+			break
+		}
+	}
+	d.cacheUsed -= e.size
+	for len(d.waitWr) > 0 {
+		req := d.waitWr[0]
+		if d.cacheUsed+req.Op.Size > d.cfg.CacheBytes {
+			break
+		}
+		d.waitWr = d.waitWr[1:]
+		d.cacheInsert(req.Op.Offset, req.Op.Size)
+		d.finish(req)
+	}
+}

@@ -1,0 +1,222 @@
+// Package mems models a MEMS-based storage device in the style of
+// Griffin et al. (OSDI 2000) and Schlosser & Ganger (FAST 2004): a probe
+// array over a spring-mounted media sled that seeks in X/Y and streams
+// while sweeping. The paper's Table 1 includes this device class because
+// it is the counter-example: MEMS storage *satisfies* the unwritten
+// contract (sequential beats random, distance costs time, the address
+// space is uniform, no amplification, no wear, no background activity),
+// so the block interface fits it — unlike SSDs.
+package mems
+
+import (
+	"fmt"
+	"math"
+
+	"ossd/internal/sim"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+)
+
+// Config describes the device.
+type Config struct {
+	// CapacityBytes is the media capacity.
+	CapacityBytes int64
+	// StreamMBps is the sustained streaming rate while sweeping.
+	StreamMBps float64
+	// Settle is the post-seek oscillation settling time.
+	Settle sim.Time
+	// FullStroke is the X-displacement time across the whole sled.
+	FullStroke sim.Time
+	// Tracks is the number of sweep columns (defines the X coordinate of
+	// an LBA).
+	Tracks int
+}
+
+// G2 returns the second-generation device parameters used by Schlosser &
+// Ganger: ~3.5 GB, ~76 MB/s streaming, sub-millisecond seeks.
+func G2() Config {
+	return Config{
+		CapacityBytes: 3584 << 20,
+		StreamMBps:    76,
+		Settle:        200 * sim.Microsecond,
+		FullStroke:    800 * sim.Microsecond,
+		Tracks:        10000,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.CapacityBytes <= 0 || c.StreamMBps <= 0 || c.Tracks <= 0 {
+		return fmt.Errorf("mems: invalid config %+v", *c)
+	}
+	return nil
+}
+
+// Metrics accumulates measurements.
+type Metrics struct {
+	Completed               int64
+	ReadResp, WriteResp     stats.Histogram // ms
+	BytesRead, BytesWritten int64
+	Seeks                   int64
+}
+
+// Request mirrors the device request lifecycle.
+type Request struct {
+	Op                  trace.Op
+	Arrive, Start, Done sim.Time
+	onDone              func(*Request)
+}
+
+// Response returns completion minus arrival.
+func (r *Request) Response() sim.Time { return r.Done - r.Arrive }
+
+// Device is the MEMS store. Single actuator: one request at a time.
+type Device struct {
+	cfg Config
+	eng *sim.Engine
+
+	track   int   // sled X position
+	lastEnd int64 // for sequential detection
+	busy    bool
+	queue   []*Request
+	met     Metrics
+}
+
+// New builds a device.
+func New(eng *sim.Engine, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg, eng: eng}, nil
+}
+
+// Engine returns the driving engine.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// LogicalBytes reports the capacity.
+func (d *Device) LogicalBytes() int64 { return d.cfg.CapacityBytes }
+
+// Metrics returns a snapshot.
+func (d *Device) Metrics() Metrics { return d.met }
+
+// trackOf maps an offset to its sweep column.
+func (d *Device) trackOf(off int64) int {
+	return int(float64(off) / float64(d.cfg.CapacityBytes) * float64(d.cfg.Tracks))
+}
+
+// seekTime is the sled displacement cost: square-root-of-distance spring
+// dynamics plus a constant settle, per Griffin et al.
+func (d *Device) seekTime(from, to int) sim.Time {
+	if from == to {
+		return 0
+	}
+	frac := math.Abs(float64(from-to)) / float64(d.cfg.Tracks)
+	d.met.Seeks++
+	return d.cfg.Settle + sim.Time(float64(d.cfg.FullStroke)*math.Sqrt(frac))
+}
+
+// serviceTime is one access: seek (skipped for sequential continuation)
+// plus streaming transfer.
+func (d *Device) serviceTime(op trace.Op) sim.Time {
+	xfer := sim.Time(float64(op.Size) / (d.cfg.StreamMBps * 1e6) * 1e9)
+	if op.Offset == d.lastEnd {
+		d.lastEnd = op.End()
+		d.track = d.trackOf(op.End())
+		return xfer
+	}
+	seek := d.seekTime(d.track, d.trackOf(op.Offset))
+	d.track = d.trackOf(op.End())
+	d.lastEnd = op.End()
+	return seek + xfer
+}
+
+// Submit enqueues a request; the single actuator serves FIFO.
+func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	if op.End() > d.cfg.CapacityBytes {
+		return fmt.Errorf("mems: request [%d, +%d) beyond capacity", op.Offset, op.Size)
+	}
+	req := &Request{Op: op, Arrive: d.eng.Now(), onDone: onDone}
+	if op.Kind == trace.Free {
+		d.finish(req)
+		return nil
+	}
+	d.queue = append(d.queue, req)
+	d.pump()
+	return nil
+}
+
+func (d *Device) pump() {
+	if d.busy || len(d.queue) == 0 {
+		return
+	}
+	req := d.queue[0]
+	d.queue = d.queue[1:]
+	req.Start = d.eng.Now()
+	dur := d.serviceTime(req.Op)
+	d.busy = true
+	d.eng.After(dur, func() {
+		d.busy = false
+		d.finish(req)
+		d.pump()
+	})
+}
+
+func (d *Device) finish(req *Request) {
+	req.Done = d.eng.Now()
+	d.met.Completed++
+	ms := req.Response().Millis()
+	switch req.Op.Kind {
+	case trace.Read:
+		d.met.ReadResp.Add(ms)
+		d.met.BytesRead += req.Op.Size
+	case trace.Write:
+		d.met.WriteResp.Add(ms)
+		d.met.BytesWritten += req.Op.Size
+	}
+	if req.onDone != nil {
+		req.onDone(req)
+	}
+}
+
+// Play replays a timestamped trace.
+func (d *Device) Play(ops []trace.Op) error {
+	var firstErr error
+	for _, op := range ops {
+		op := op
+		d.eng.At(op.At, func() {
+			if err := d.Submit(op, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	d.eng.Run()
+	return firstErr
+}
+
+// ClosedLoop keeps depth requests outstanding from gen.
+func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
+	if depth <= 0 {
+		depth = 1
+	}
+	var firstErr error
+	i := 0
+	var issue func()
+	issue = func() {
+		op, ok := gen(i)
+		if !ok {
+			return
+		}
+		i++
+		if err := d.Submit(op, func(*Request) { issue() }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for k := 0; k < depth; k++ {
+		issue()
+	}
+	d.eng.Run()
+	return firstErr
+}

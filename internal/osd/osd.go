@@ -1,0 +1,390 @@
+// Package osd implements the paper's proposal (§3.7): an object-based
+// storage interface in front of the SSD, so the device — not the file
+// system — performs block management. Objects are byte-addressable,
+// carry attributes (priority, read-only/cold), and are backed by
+// stripe-aligned extents allocated inside the device:
+//
+//   - Allocation granularity is the device's logical page (the full
+//     stripe on FullStripe layouts), so object writes are naturally
+//     stripe-aligned and avoid read-modify-write (§3.4).
+//   - Deleting an object releases its pages to the FTL as free
+//     notifications, enabling informed cleaning (§3.5).
+//   - Requests against priority objects are tagged so priority-aware
+//     cleaning can defer background work (§3.6).
+package osd
+
+import (
+	"errors"
+	"fmt"
+
+	"ossd/internal/fsmodel"
+	"ossd/internal/ssd"
+	"ossd/internal/trace"
+)
+
+// ObjectID names an object.
+type ObjectID uint64
+
+// Attributes carry per-object hints the device exploits.
+type Attributes struct {
+	// Priority marks the object's I/O as foreground (§3.6).
+	Priority bool
+	// ReadOnly marks the object immutable: writes are rejected, and the
+	// device may treat its data as cold during wear-leveling.
+	ReadOnly bool
+}
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("osd: no such object")
+	ErrReadOnly = errors.New("osd: object is read-only")
+	ErrNoSpace  = errors.New("osd: out of space")
+	ErrBadRange = errors.New("osd: invalid range")
+)
+
+type object struct {
+	id    ObjectID
+	attrs Attributes
+	size  int64 // logical byte size (highest byte written + 1)
+	// region indexes the store's allocation regions (0 = SLC / only
+	// region; 1 = MLC on heterogeneous devices).
+	region int
+	fsid   fsmodel.FileID
+	// extents caches the allocation, in object-logical order; extent i
+	// covers object bytes [starts[i], starts[i]+extents[i].Count*unit).
+	extents []fsmodel.Extent
+	starts  []int64
+}
+
+// Stats summarizes store activity.
+type Stats struct {
+	Objects        int
+	Created        int64
+	Deleted        int64
+	BytesWritten   int64
+	BytesRead      int64
+	AllocatedBytes int64
+	FreedBytes     int64
+}
+
+// region is one allocation domain: a byte range of the device with its
+// own allocator. Homogeneous devices have one; heterogeneous devices
+// (§3.3) have an SLC region and an MLC region, so the store can
+// "co-locate all the data belonging to a root object in SLC memory for
+// faster access".
+type region struct {
+	base int64
+	fs   *fsmodel.FS
+}
+
+// Store is the object store. Like the device it fronts, it is
+// single-threaded and driven by the device's simulation engine.
+type Store struct {
+	dev     *ssd.Device
+	regions []*region
+	unit    int64 // allocation unit in bytes (stripe or page)
+	objs    map[ObjectID]*object
+	next    ObjectID
+	stats   Stats
+}
+
+// New builds a store over a device. The allocation unit is the device's
+// logical page: the stripe for FullStripe layouts, the flash page for
+// Interleaved. On heterogeneous devices the store manages the SLC and
+// MLC regions separately.
+func New(dev *ssd.Device) (*Store, error) {
+	cfg := dev.Config()
+	unit := int64(cfg.Geom.PageSize)
+	if cfg.Layout == ssd.FullStripe {
+		unit = cfg.StripeBytes
+	}
+	s := &Store{
+		dev:  dev,
+		unit: unit,
+		objs: make(map[ObjectID]*object),
+	}
+	bounds := []int64{0, dev.LogicalBytes()}
+	if b := dev.RegionBoundary(); b > 0 {
+		bounds = []int64{0, b, dev.LogicalBytes()}
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		fs, err := fsmodel.New(bounds[i+1]-bounds[i], unit)
+		if err != nil {
+			return nil, err
+		}
+		s.regions = append(s.regions, &region{base: bounds[i], fs: fs})
+	}
+	return s, nil
+}
+
+// Heterogeneous reports whether the store manages SLC and MLC regions.
+func (s *Store) Heterogeneous() bool { return len(s.regions) > 1 }
+
+// Device exposes the underlying device.
+func (s *Store) Device() *ssd.Device { return s.dev }
+
+// AllocationUnit reports the allocation granularity in bytes.
+func (s *Store) AllocationUnit() int64 { return s.unit }
+
+// Stats returns a snapshot.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.Objects = len(s.objs)
+	return st
+}
+
+// Create registers an empty object. On heterogeneous media, priority
+// (hot) objects are placed in the SLC region and everything else in MLC.
+func (s *Store) Create(attrs Attributes) ObjectID {
+	s.next++
+	id := s.next
+	reg := 0
+	if s.Heterogeneous() && !attrs.Priority {
+		reg = 1
+	}
+	s.objs[id] = &object{id: id, attrs: attrs, region: reg, fsid: s.regions[reg].fs.Create()}
+	s.stats.Created++
+	return id
+}
+
+// Region reports which allocation region an object lives in (0 = SLC or
+// the only region, 1 = MLC).
+func (s *Store) Region(id ObjectID) (int, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return o.region, nil
+}
+
+// Info is the OSD attribute page of one object: its identity, logical
+// and allocated sizes, placement, and attributes.
+type Info struct {
+	ID             ObjectID
+	Size           int64
+	AllocatedBytes int64
+	Extents        int
+	Region         int
+	Attrs          Attributes
+}
+
+// Stat returns the object's attribute page.
+func (s *Store) Stat(id ObjectID) (Info, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	return Info{
+		ID:             o.id,
+		Size:           o.size,
+		AllocatedBytes: o.allocatedBytes(s.unit),
+		Extents:        len(o.extents),
+		Region:         o.region,
+		Attrs:          o.attrs,
+	}, nil
+}
+
+// Attributes returns an object's attributes.
+func (s *Store) Attributes(id ObjectID) (Attributes, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return Attributes{}, ErrNotFound
+	}
+	return o.attrs, nil
+}
+
+// SetAttributes replaces an object's attributes.
+func (s *Store) SetAttributes(id ObjectID, attrs Attributes) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	o.attrs = attrs
+	return nil
+}
+
+// Size returns the object's logical size in bytes.
+func (s *Store) Size(id ObjectID) (int64, error) {
+	o, ok := s.objs[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return o.size, nil
+}
+
+// List returns all live object IDs (unordered).
+func (s *Store) List() []ObjectID {
+	out := make([]ObjectID, 0, len(s.objs))
+	for id := range s.objs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// allocatedBytes returns the object's allocated capacity.
+func (o *object) allocatedBytes(unit int64) int64 {
+	var n int64
+	for _, e := range o.extents {
+		n += e.Count
+	}
+	return n * unit
+}
+
+// ensure grows the object's allocation to cover [0, end) bytes.
+func (s *Store) ensure(o *object, end int64) error {
+	have := o.allocatedBytes(s.unit)
+	if end <= have {
+		return nil
+	}
+	need := (end - have + s.unit - 1) / s.unit
+	got, err := s.regions[o.region].fs.Append(o.fsid, need)
+	if err != nil {
+		if errors.Is(err, fsmodel.ErrNoSpace) {
+			return ErrNoSpace
+		}
+		return err
+	}
+	for _, e := range got {
+		o.starts = append(o.starts, have)
+		o.extents = append(o.extents, e)
+		have += e.Count * s.unit
+		s.stats.AllocatedBytes += e.Count * s.unit
+	}
+	return nil
+}
+
+// ranges maps an object byte range to device byte ranges, in order.
+func (o *object) ranges(base, unit, off, size int64) ([][2]int64, error) {
+	end := off + size
+	var out [][2]int64
+	for i, e := range o.extents {
+		eStart := o.starts[i]
+		eLen := e.Count * unit
+		eEnd := eStart + eLen
+		if eEnd <= off || eStart >= end {
+			continue
+		}
+		lo, hi := off, end
+		if lo < eStart {
+			lo = eStart
+		}
+		if hi > eEnd {
+			hi = eEnd
+		}
+		devOff := base + e.Start*unit + (lo - eStart)
+		out = append(out, [2]int64{devOff, hi - lo})
+	}
+	var covered int64
+	for _, r := range out {
+		covered += r[1]
+	}
+	if covered != size {
+		return nil, fmt.Errorf("%w: [%d, +%d) not fully allocated", ErrBadRange, off, size)
+	}
+	return out, nil
+}
+
+// submitRanges issues one device op per contiguous device range and
+// calls done with the first error once all complete.
+func (s *Store) submitRanges(kind trace.Kind, ranges [][2]int64, pri bool, done func(error)) {
+	if len(ranges) == 0 {
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	left := len(ranges)
+	var firstErr error
+	for _, r := range ranges {
+		op := trace.Op{Kind: kind, Offset: r[0], Size: r[1], Priority: pri}
+		err := s.dev.Submit(op, func(req *ssd.Request) {
+			if req.Err != nil && firstErr == nil {
+				firstErr = req.Err
+			}
+			left--
+			if left == 0 && done != nil {
+				done(firstErr)
+			}
+		})
+		if err != nil {
+			left--
+			if firstErr == nil {
+				firstErr = err
+			}
+			if left == 0 && done != nil {
+				done(firstErr)
+			}
+		}
+	}
+}
+
+// Write stores size bytes at object offset off, growing the object as
+// needed. done (optional) fires when the device completes all parts; run
+// the device's engine to make progress.
+func (s *Store) Write(id ObjectID, off, size int64, done func(error)) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if o.attrs.ReadOnly {
+		return ErrReadOnly
+	}
+	if off < 0 || size <= 0 {
+		return fmt.Errorf("%w: write [%d, +%d)", ErrBadRange, off, size)
+	}
+	if err := s.ensure(o, off+size); err != nil {
+		return err
+	}
+	ranges, err := o.ranges(s.regions[o.region].base, s.unit, off, size)
+	if err != nil {
+		return err
+	}
+	if off+size > o.size {
+		o.size = off + size
+	}
+	s.stats.BytesWritten += size
+	s.submitRanges(trace.Write, ranges, o.attrs.Priority, done)
+	return nil
+}
+
+// Read fetches size bytes at object offset off.
+func (s *Store) Read(id ObjectID, off, size int64, done func(error)) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if off < 0 || size <= 0 || off+size > o.size {
+		return fmt.Errorf("%w: read [%d, +%d) of %d-byte object", ErrBadRange, off, size, o.size)
+	}
+	ranges, err := o.ranges(s.regions[o.region].base, s.unit, off, size)
+	if err != nil {
+		return err
+	}
+	s.stats.BytesRead += size
+	s.submitRanges(trace.Read, ranges, o.attrs.Priority, done)
+	return nil
+}
+
+// Delete removes an object and releases its pages to the device as free
+// notifications — the §3.5 informed-cleaning signal.
+func (s *Store) Delete(id ObjectID) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(s.objs, id)
+	reg := s.regions[o.region]
+	freed, err := reg.fs.Delete(o.fsid)
+	if err != nil {
+		return err
+	}
+	s.stats.Deleted++
+	for _, e := range freed {
+		off, size := e.Bytes(s.unit)
+		s.stats.FreedBytes += size
+		if err := s.dev.Submit(trace.Op{Kind: trace.Free, Offset: reg.base + off, Size: size}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

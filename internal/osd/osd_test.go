@@ -1,0 +1,438 @@
+package osd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ossd/internal/flash"
+	"ossd/internal/sim"
+	"ossd/internal/ssd"
+)
+
+func newStore(t *testing.T, layout ssd.Layout, informed bool) (*sim.Engine, *Store) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := ssd.Config{
+		Elements:      4,
+		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 8, BlocksPerPackage: 64},
+		Overprovision: 0.15,
+		Layout:        layout,
+		GCLow:         0.12,
+		GCCritical:    0.03,
+		Informed:      informed,
+	}
+	if layout == ssd.FullStripe {
+		cfg.StripeBytes = 4 * 4096
+	}
+	dev, err := ssd.New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, st
+}
+
+func TestAllocationUnitFollowsLayout(t *testing.T) {
+	_, interleaved := newStore(t, ssd.Interleaved, false)
+	if interleaved.AllocationUnit() != 4096 {
+		t.Fatalf("interleaved unit = %d", interleaved.AllocationUnit())
+	}
+	_, striped := newStore(t, ssd.FullStripe, false)
+	if striped.AllocationUnit() != 4*4096 {
+		t.Fatalf("striped unit = %d", striped.AllocationUnit())
+	}
+}
+
+func TestCreateWriteReadDelete(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, true)
+	id := st.Create(Attributes{})
+	var werr, rerr error
+	wdone, rdone := false, false
+	if err := st.Write(id, 0, 10000, func(e error) { werr, wdone = e, true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !wdone || werr != nil {
+		t.Fatalf("write: done=%v err=%v", wdone, werr)
+	}
+	sz, err := st.Size(id)
+	if err != nil || sz != 10000 {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+	if err := st.Read(id, 0, 10000, func(e error) { rerr, rdone = e, true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !rdone || rerr != nil {
+		t.Fatalf("read: done=%v err=%v", rdone, rerr)
+	}
+	if err := st.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, err := st.Size(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted object still present: %v", err)
+	}
+}
+
+func TestDeleteReleasesPagesToFTL(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, true)
+	id := st.Create(Attributes{})
+	if err := st.Write(id, 0, 64*4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := st.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	g := st.Device().GCStats()
+	if g.FreesApplied == 0 {
+		t.Fatal("delete did not reach the FTL as free notifications")
+	}
+	if g.FreesApplied != 64 {
+		t.Fatalf("frees applied = %d, want 64", g.FreesApplied)
+	}
+}
+
+func TestObjectWritesAreStripeAligned(t *testing.T) {
+	// On a FullStripe device, object allocation must never trigger RMW
+	// reads for whole-unit writes: that is the §3.4 payoff.
+	eng, st := newStore(t, ssd.FullStripe, false)
+	for i := 0; i < 8; i++ {
+		id := st.Create(Attributes{})
+		if err := st.Write(id, 0, st.AllocationUnit(), nil); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	if g := st.Device().GCStats(); g.HostPageReads != 0 {
+		t.Fatalf("aligned object writes caused %d RMW reads", g.HostPageReads)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, false)
+	id := st.Create(Attributes{})
+	if err := st.Write(id, 0, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := st.SetAttributes(id, Attributes{ReadOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(id, 0, 4096, nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write to read-only object: %v", err)
+	}
+	// Reads still fine.
+	if err := st.Read(id, 0, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	_, st := newStore(t, ssd.Interleaved, false)
+	id := st.Create(Attributes{Priority: true})
+	a, err := st.Attributes(id)
+	if err != nil || !a.Priority {
+		t.Fatalf("attrs = %+v, %v", a, err)
+	}
+	if _, err := st.Attributes(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object attrs: %v", err)
+	}
+	if err := st.SetAttributes(999, Attributes{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object setattrs: %v", err)
+	}
+}
+
+func TestPriorityObjectTagsRequests(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, false)
+	hi := st.Create(Attributes{Priority: true})
+	lo := st.Create(Attributes{})
+	st.Write(hi, 0, 4096, nil)
+	st.Write(lo, 0, 4096, nil)
+	eng.Run()
+	m := st.Device().Metrics()
+	if m.PriResp.N() != 1 || m.BgResp.N() != 1 {
+		t.Fatalf("priority tagging: pri=%d bg=%d", m.PriResp.N(), m.BgResp.N())
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, false)
+	id := st.Create(Attributes{})
+	if err := st.Write(id, -1, 10, nil); !errors.Is(err, ErrBadRange) {
+		t.Errorf("negative offset: %v", err)
+	}
+	if err := st.Write(id, 0, 0, nil); !errors.Is(err, ErrBadRange) {
+		t.Errorf("zero size: %v", err)
+	}
+	if err := st.Write(999, 0, 10, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing object: %v", err)
+	}
+	st.Write(id, 0, 100, nil)
+	eng.Run()
+	if err := st.Read(id, 50, 100, nil); !errors.Is(err, ErrBadRange) {
+		t.Errorf("read past size: %v", err)
+	}
+	if err := st.Read(999, 0, 10, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read missing object: %v", err)
+	}
+	if err := st.Delete(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("delete missing: %v", err)
+	}
+}
+
+func TestSparseExtension(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, false)
+	id := st.Create(Attributes{})
+	// Write far past the start: allocation covers [0, end).
+	if err := st.Write(id, 20*4096, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	sz, _ := st.Size(id)
+	if sz != 21*4096 {
+		t.Fatalf("size = %d", sz)
+	}
+	// The earlier region is allocated and readable.
+	if err := st.Read(id, 0, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}
+
+func TestOutOfSpace(t *testing.T) {
+	_, st := newStore(t, ssd.Interleaved, false)
+	id := st.Create(Attributes{})
+	cap := st.Device().LogicalBytes()
+	if err := st.Write(id, 0, cap+4096, nil); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("oversize write: %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, false)
+	a := st.Create(Attributes{})
+	b := st.Create(Attributes{})
+	st.Write(a, 0, 8192, nil)
+	st.Read(a, 0, 4096, nil)
+	eng.Run()
+	st.Delete(b)
+	s := st.Stats()
+	if s.Created != 2 || s.Deleted != 1 || s.Objects != 1 {
+		t.Fatalf("object counts: %+v", s)
+	}
+	if s.BytesWritten != 8192 || s.BytesRead != 4096 {
+		t.Fatalf("byte counts: %+v", s)
+	}
+	if s.AllocatedBytes < 8192 {
+		t.Fatalf("allocated: %+v", s)
+	}
+}
+
+func TestList(t *testing.T) {
+	_, st := newStore(t, ssd.Interleaved, false)
+	ids := map[ObjectID]bool{}
+	for i := 0; i < 5; i++ {
+		ids[st.Create(Attributes{})] = true
+	}
+	got := st.List()
+	if len(got) != 5 {
+		t.Fatalf("List len = %d", len(got))
+	}
+	for _, id := range got {
+		if !ids[id] {
+			t.Fatalf("unknown id %d", id)
+		}
+	}
+}
+
+// Property: a model map of object sizes agrees with the store through
+// arbitrary create/write/delete interleavings, and device invariants
+// survive.
+func TestStoreModelProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		eng, st := func() (*sim.Engine, *Store) {
+			eng := sim.NewEngine()
+			cfg := ssd.Config{
+				Elements:      2,
+				Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 8, BlocksPerPackage: 64},
+				Overprovision: 0.15,
+				Layout:        ssd.Interleaved,
+				Informed:      true,
+				GCLow:         0.12,
+				GCCritical:    0.03,
+			}
+			dev, err := ssd.New(eng, cfg)
+			if err != nil {
+				return nil, nil
+			}
+			s, err := New(dev)
+			if err != nil {
+				return nil, nil
+			}
+			return eng, s
+		}()
+		if st == nil {
+			return false
+		}
+		model := map[ObjectID]int64{}
+		var ids []ObjectID
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				id := st.Create(Attributes{})
+				model[id] = 0
+				ids = append(ids, id)
+			case 1:
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(op>>2)%len(ids)]
+				if _, live := model[id]; !live {
+					continue
+				}
+				off := int64(op>>4) % 16 * 4096
+				size := int64(op>>8)%4*4096 + 4096
+				if err := st.Write(id, off, size, nil); err != nil {
+					if errors.Is(err, ErrNoSpace) {
+						continue
+					}
+					return false
+				}
+				if off+size > model[id] {
+					model[id] = off + size
+				}
+			case 2:
+				if len(ids) == 0 {
+					continue
+				}
+				i := int(op>>2) % len(ids)
+				id := ids[i]
+				if _, live := model[id]; !live {
+					continue
+				}
+				if err := st.Delete(id); err != nil {
+					return false
+				}
+				delete(model, id)
+			}
+		}
+		eng.Run()
+		for id, want := range model {
+			got, err := st.Size(id)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		for _, el := range st.Device().Elements() {
+			if el.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return len(st.List()) == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeterogeneousPlacement(t *testing.T) {
+	eng := sim.NewEngine()
+	dev, err := ssd.New(eng, ssd.Config{
+		Elements:      4,
+		MLCElements:   2,
+		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 8, BlocksPerPackage: 64},
+		Overprovision: 0.15,
+		Layout:        ssd.Interleaved,
+		GCLow:         0.12, GCCritical: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Heterogeneous() {
+		t.Fatal("store does not see the heterogeneous media")
+	}
+	hot := st.Create(Attributes{Priority: true})
+	cold := st.Create(Attributes{})
+	if r, _ := st.Region(hot); r != 0 {
+		t.Fatalf("hot object in region %d, want SLC (0)", r)
+	}
+	if r, _ := st.Region(cold); r != 1 {
+		t.Fatalf("cold object in region %d, want MLC (1)", r)
+	}
+	if _, err := st.Region(999); err == nil {
+		t.Error("missing object region lookup succeeded")
+	}
+	// Writes to the hot object land below the boundary; cold above.
+	if err := st.Write(hot, 0, 8192, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(cold, 0, 8192, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	boundary := dev.RegionBoundary()
+	// Verify via element traffic: SLC elements (0,1) got the hot writes.
+	slcWrites := dev.Elements()[0].Stats().HostWrites + dev.Elements()[1].Stats().HostWrites
+	mlcWrites := dev.Elements()[2].Stats().HostWrites + dev.Elements()[3].Stats().HostWrites
+	if slcWrites != 2 || mlcWrites != 2 {
+		t.Fatalf("write placement: slc=%d mlc=%d, want 2/2 (boundary %d)", slcWrites, mlcWrites, boundary)
+	}
+	// Deleting the cold object frees into the MLC region.
+	if err := st.Delete(cold); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	mlcFrees := dev.Elements()[2].Stats().FreesSeen + dev.Elements()[3].Stats().FreesSeen
+	if mlcFrees != 2 {
+		t.Fatalf("cold delete freed %d MLC pages, want 2", mlcFrees)
+	}
+}
+
+func TestHomogeneousSingleRegion(t *testing.T) {
+	_, st := newStore(t, ssd.Interleaved, false)
+	if st.Heterogeneous() {
+		t.Fatal("homogeneous store claims regions")
+	}
+	id := st.Create(Attributes{})
+	if r, _ := st.Region(id); r != 0 {
+		t.Fatalf("region = %d", r)
+	}
+}
+
+func TestStat(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, false)
+	id := st.Create(Attributes{Priority: true})
+	if err := st.Write(id, 0, 10000, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	info, err := st.Stat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != id || info.Size != 10000 {
+		t.Fatalf("info identity: %+v", info)
+	}
+	if info.AllocatedBytes < 10000 || info.AllocatedBytes%st.AllocationUnit() != 0 {
+		t.Fatalf("allocated = %d", info.AllocatedBytes)
+	}
+	if info.Extents < 1 || !info.Attrs.Priority || info.Region != 0 {
+		t.Fatalf("info details: %+v", info)
+	}
+	if _, err := st.Stat(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object stat: %v", err)
+	}
+}

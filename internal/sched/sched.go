@@ -1,0 +1,96 @@
+// Package sched implements the device-level I/O dispatch policies compared
+// in §3.2 of the paper: FCFS, which dispatches strictly in arrival order
+// and therefore suffers head-of-line blocking when the next request's
+// target element is busy, and SWTF (shortest-wait-time-first), which
+// dispatches the queued request whose target parallel elements have the
+// shortest aggregate wait.
+package sched
+
+import "ossd/internal/sim"
+
+// Policy selects a dispatch discipline.
+type Policy int
+
+const (
+	// FCFS dispatches requests in strict arrival order.
+	FCFS Policy = iota
+	// SWTF dispatches the request with the shortest wait time over its
+	// target elements.
+	SWTF
+)
+
+func (p Policy) String() string {
+	if p == SWTF {
+		return "SWTF"
+	}
+	return "FCFS"
+}
+
+// Entry is one queued request from the scheduler's point of view: the set
+// of parallel elements it must occupy and its arrival order.
+type Entry struct {
+	// Elems are the indices of the elements the request occupies.
+	Elems []int
+	// Seq is the arrival sequence number; lower is earlier.
+	Seq uint64
+}
+
+// Wait computes the wait time of an entry: the latest time at which all of
+// its target elements become available, relative to now. An idle element
+// contributes zero.
+func (e *Entry) Wait(busyUntil []sim.Time, now sim.Time) sim.Time {
+	var w sim.Time
+	for _, el := range e.Elems {
+		if b := busyUntil[el] - now; b > w {
+			w = b
+		}
+	}
+	return w
+}
+
+// ready reports whether all target elements are idle at now.
+func (e *Entry) ready(busyUntil []sim.Time, now sim.Time) bool {
+	return e.Wait(busyUntil, now) == 0
+}
+
+// Pick returns the index into pending of the next request to dispatch, or
+// -1 if nothing may be dispatched now. Only requests whose elements are
+// all idle are dispatchable (the device model serializes each element).
+//
+// FCFS: the earliest-arrived request, and only that one — if its elements
+// are busy nothing dispatches, even if later requests could proceed.
+//
+// SWTF: among all pending requests, the one with the shortest wait; it
+// dispatches only if that wait is zero, otherwise the scheduler retries
+// when an element completes. Ties break by arrival order, keeping the
+// policy deterministic and starvation-resistant for equal waits.
+func Pick(policy Policy, pending []*Entry, busyUntil []sim.Time, now sim.Time) int {
+	if len(pending) == 0 {
+		return -1
+	}
+	switch policy {
+	case SWTF:
+		best, bestWait := -1, sim.Time(-1)
+		for i, e := range pending {
+			w := e.Wait(busyUntil, now)
+			if best == -1 || w < bestWait || (w == bestWait && e.Seq < pending[best].Seq) {
+				best, bestWait = i, w
+			}
+		}
+		if bestWait == 0 {
+			return best
+		}
+		return -1
+	default: // FCFS
+		head := 0
+		for i, e := range pending {
+			if e.Seq < pending[head].Seq {
+				head = i
+			}
+		}
+		if pending[head].ready(busyUntil, now) {
+			return head
+		}
+		return -1
+	}
+}

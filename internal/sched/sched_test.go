@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ossd/internal/sim"
+)
+
+func entry(seq uint64, elems ...int) *Entry {
+	return &Entry{Elems: elems, Seq: seq}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() != "FCFS" || SWTF.String() != "SWTF" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestWait(t *testing.T) {
+	busy := []sim.Time{100, 0, 50}
+	e := entry(1, 0, 2)
+	if w := e.Wait(busy, 40); w != 60 {
+		t.Fatalf("Wait = %v, want 60 (max over elements)", w)
+	}
+	if w := entry(1, 1).Wait(busy, 40); w != 0 {
+		t.Fatalf("idle element wait = %v, want 0", w)
+	}
+	// busyUntil in the past contributes zero, not negative.
+	if w := entry(1, 0).Wait(busy, 200); w != 0 {
+		t.Fatalf("past-busy wait = %v, want 0", w)
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	if Pick(FCFS, nil, []sim.Time{0}, 0) != -1 {
+		t.Fatal("empty FCFS pick")
+	}
+	if Pick(SWTF, nil, []sim.Time{0}, 0) != -1 {
+		t.Fatal("empty SWTF pick")
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	busy := []sim.Time{100, 0} // element 0 busy, element 1 idle
+	pending := []*Entry{entry(1, 0), entry(2, 1)}
+	// Head targets the busy element: FCFS must stall even though the
+	// second request could run.
+	if got := Pick(FCFS, pending, busy, 10); got != -1 {
+		t.Fatalf("FCFS picked %d, want -1 (head blocked)", got)
+	}
+	// SWTF bypasses to the idle element.
+	if got := Pick(SWTF, pending, busy, 10); got != 1 {
+		t.Fatalf("SWTF picked %d, want 1", got)
+	}
+}
+
+func TestFCFSInOrder(t *testing.T) {
+	busy := []sim.Time{0, 0}
+	pending := []*Entry{entry(5, 1), entry(2, 0)}
+	if got := Pick(FCFS, pending, busy, 0); got != 1 {
+		t.Fatalf("FCFS picked index %d, want 1 (lowest seq)", got)
+	}
+}
+
+func TestSWTFTieBreaksBySeq(t *testing.T) {
+	busy := []sim.Time{0, 0}
+	pending := []*Entry{entry(9, 0), entry(3, 1)}
+	if got := Pick(SWTF, pending, busy, 0); got != 1 {
+		t.Fatalf("SWTF tie pick = %d, want 1 (earlier seq)", got)
+	}
+}
+
+func TestSWTFAllBusy(t *testing.T) {
+	busy := []sim.Time{50, 80}
+	pending := []*Entry{entry(1, 0), entry(2, 1)}
+	if got := Pick(SWTF, pending, busy, 0); got != -1 {
+		t.Fatalf("SWTF dispatched onto busy element: %d", got)
+	}
+}
+
+func TestMultiElementRequest(t *testing.T) {
+	busy := []sim.Time{0, 30, 0}
+	all := entry(1, 0, 1, 2)
+	single := entry(2, 2)
+	pending := []*Entry{all, single}
+	// FCFS: head (striped over all) blocked by element 1.
+	if got := Pick(FCFS, pending, busy, 0); got != -1 {
+		t.Fatalf("FCFS = %d, want -1", got)
+	}
+	// SWTF: single-element request to idle element 2 wins.
+	if got := Pick(SWTF, pending, busy, 0); got != 1 {
+		t.Fatalf("SWTF = %d, want 1", got)
+	}
+	// Once element 1 frees, the striped request (earlier seq, equal wait)
+	// wins the tie.
+	busy[1] = 0
+	if got := Pick(SWTF, pending, busy, 30); got != 0 {
+		t.Fatalf("SWTF after drain = %d, want 0", got)
+	}
+}
+
+// Property: Pick never returns a request whose elements are busy, and
+// FCFS only ever returns the minimum-seq entry.
+func TestPickProperty(t *testing.T) {
+	prop := func(seqs []uint16, busyRaw [4]uint8, nowRaw uint8) bool {
+		if len(seqs) == 0 {
+			return true
+		}
+		busy := make([]sim.Time, 4)
+		for i, b := range busyRaw {
+			busy[i] = sim.Time(b)
+		}
+		now := sim.Time(nowRaw)
+		var pending []*Entry
+		seen := map[uint16]bool{}
+		for i, s := range seqs {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			pending = append(pending, entry(uint64(s), i%4))
+		}
+		if len(pending) == 0 {
+			return true
+		}
+		for _, pol := range []Policy{FCFS, SWTF} {
+			got := Pick(pol, pending, busy, now)
+			if got == -1 {
+				continue
+			}
+			e := pending[got]
+			if e.Wait(busy, now) != 0 {
+				return false
+			}
+			if pol == FCFS {
+				for _, o := range pending {
+					if o.Seq < e.Seq {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}

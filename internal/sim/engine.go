@@ -1,0 +1,144 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, and seeded random distributions. All
+// device models in this repository (SSD, HDD) advance time exclusively
+// through an Engine, which makes every experiment reproducible from a
+// seed and independent of wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on the simulated clock, in nanoseconds since the start
+// of the simulation. Durations are also expressed as Time.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a simulated time or duration to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts a simulated time or duration to float milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros converts a simulated time or duration to float microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier run earlier, giving a stable, deterministic order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engines are not safe for concurrent use; a simulation is a single
+// logical thread of control.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed reports the total number of events run so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a model bug, and silently reordering time would
+// corrupt every statistic downstream.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single next event, advancing the clock to its timestamp.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run processes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled after t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

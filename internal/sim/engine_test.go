@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("zero engine Now = %v, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported an event")
+	}
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v after run, want 30", e.Now())
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not in scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterNesting(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("nested After produced %v, want [10 15]", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// RunUntil past the end advances the clock even with no events.
+	e.RunUntil(100)
+	if e.Now() != 100 || e.Pending() != 0 {
+		t.Fatalf("after RunUntil(100): now=%v pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestEnginePanicsOnPastSchedule(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 17 {
+		t.Fatalf("Processed = %d, want 17", e.Processed())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in sorted order
+// and the clock is monotone.
+func TestEngineSortedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		want := make([]Time, len(raw))
+		for i, r := range raw {
+			want[i] = Time(r)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Errorf("Seconds = %v, want 2", s)
+	}
+	if ms := (Millisecond + 500*Microsecond).Millis(); ms != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", ms)
+	}
+	if us := (3 * Microsecond).Micros(); us != 3 {
+		t.Errorf("Micros = %v, want 3", us)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	// Forking with different keys must give distinct streams; forking must
+	// not depend on consumption interleaving of the child.
+	g := NewRNG(7)
+	c1 := g.Fork(1)
+	c2 := g.Fork(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Intn(1000) == c2.Intn(1000) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("forked streams look identical: %d/50 collisions", same)
+	}
+}
+
+func TestRNGUniformDuration(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		d := g.UniformDuration(10, 20)
+		if d < 10 || d >= 20 {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if d := g.UniformDuration(5, 5); d != 5 {
+		t.Fatalf("degenerate UniformDuration = %v, want 5", d)
+	}
+}
+
+func TestRNGExponentialMean(t *testing.T) {
+	g := NewRNG(2)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Exponential(1000))
+	}
+	mean := sum / n
+	if mean < 900 || mean > 1100 {
+		t.Fatalf("exponential mean = %v, want ~1000", mean)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(3)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	g := NewRNG(4)
+	z := g.Zipf(1.2, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		counts[z.Uint64()]++
+	}
+	// Rank 0 must dominate a mid-rank value under Zipf.
+	if counts[0] <= counts[100] {
+		t.Fatalf("zipf not skewed: rank0=%d rank100=%d", counts[0], counts[100])
+	}
+}

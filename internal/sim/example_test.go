@@ -1,0 +1,25 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"ossd/internal/sim"
+)
+
+// ExampleEngine shows the discrete-event pattern every device model in
+// this repository uses: schedule, run, observe the virtual clock.
+func ExampleEngine() {
+	eng := sim.NewEngine()
+	eng.After(2*sim.Millisecond, func() {
+		fmt.Println("erase done at", eng.Now())
+	})
+	eng.After(200*sim.Microsecond, func() {
+		fmt.Println("program done at", eng.Now())
+	})
+	eng.Run()
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// program done at 200.000us
+	// erase done at 2.000ms
+	// clock: 2.000ms
+}

@@ -1,0 +1,481 @@
+package ssd
+
+import (
+	"fmt"
+
+	"ossd/internal/ftl"
+	"ossd/internal/sched"
+	"ossd/internal/sim"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+)
+
+// Request is one I/O in flight through the device, with its lifecycle
+// timestamps filled in as it progresses.
+type Request struct {
+	// Op is the originating trace operation.
+	Op trace.Op
+	// Arrive, Start, Done are the queue-entry, dispatch, and completion
+	// times on the simulated clock.
+	Arrive, Start, Done sim.Time
+	// Err records a device error (wear-out, capacity); nil on success.
+	Err error
+
+	// internal marks buffer-drain requests: they do the media work for an
+	// already-acknowledged buffered write and stay out of host metrics.
+	internal bool
+	onDone   func(*Request)
+}
+
+// Response returns the request's response time (completion - arrival).
+func (r *Request) Response() sim.Time { return r.Done - r.Arrive }
+
+// Metrics accumulates device-level measurements.
+type Metrics struct {
+	// Requests counts arrivals; Completed counts finished requests.
+	Requests, Completed int64
+	// ReadResp and WriteResp are response-time histograms in
+	// milliseconds, by operation type.
+	ReadResp, WriteResp stats.Histogram
+	// PriResp and BgResp are response-time histograms in milliseconds for
+	// priority (foreground) and normal (background) requests (§3.6).
+	PriResp, BgResp stats.Histogram
+	// BytesRead and BytesWritten count host data moved.
+	BytesRead, BytesWritten int64
+	// Frees counts free (deallocation) notifications processed.
+	Frees int64
+	// Errors counts failed requests.
+	Errors int64
+	// BackgroundCleans counts cleaning passes initiated by the device
+	// (watermark-driven), as opposed to the FTL's internal safety valve.
+	BackgroundCleans int64
+	// BufferedWrites counts writes absorbed by the write buffer;
+	// BufferBypass counts writes that found it full.
+	BufferedWrites, BufferBypass int64
+}
+
+// GCStats aggregates FTL cleaning counters across the gang.
+type GCStats struct {
+	HostPageReads, HostPageWrites int64
+	PagesMoved                    int64
+	Cleans, GCErases, Migrations  int64
+	CleanTime                     sim.Time
+	FreesSeen, FreesApplied       int64
+}
+
+// pendJob is one queued request plus its scheduler view.
+type pendJob struct {
+	req   *Request
+	entry *sched.Entry
+}
+
+// Device is the simulated SSD.
+type Device struct {
+	cfg   Config
+	eng   *sim.Engine
+	elems []ftl.Backend
+
+	// Derived layout parameters.
+	chunkBytes    int64 // FullStripe: contiguous bytes per element per stripe
+	pagesPerChunk int
+	logicalBytes  int64
+
+	busyUntil []sim.Time
+	linkBusy  sim.Time // host-interface link occupancy (InterfaceMBps)
+	pending   []*pendJob
+	seq       uint64
+	// outstandingPri counts priority requests queued or in service; the
+	// priority-aware cleaner consults it (§3.6).
+	outstandingPri int
+	// bufOccupancy tracks undrained bytes in the write buffer.
+	bufOccupancy int64
+
+	met Metrics
+}
+
+// New builds a device on the given engine.
+func New(eng *sim.Engine, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:       cfg,
+		eng:       eng,
+		busyUntil: make([]sim.Time, cfg.Elements),
+	}
+	for i := 0; i < cfg.Elements; i++ {
+		el, err := ftl.NewBackend(cfg.Scheme, cfg.ftlConfig(i))
+		if err != nil {
+			return nil, err
+		}
+		d.elems = append(d.elems, el)
+	}
+	perElemPages := d.elems[0].LogicalPages()
+	pageSize := int64(cfg.Geom.PageSize)
+	switch cfg.Layout {
+	case FullStripe:
+		d.chunkBytes = cfg.StripeBytes / int64(cfg.Elements)
+		d.pagesPerChunk = int(d.chunkBytes / pageSize)
+		stripes := perElemPages / d.pagesPerChunk
+		d.logicalBytes = int64(stripes) * cfg.StripeBytes
+	case Interleaved:
+		d.logicalBytes = int64(perElemPages) * pageSize * int64(cfg.Elements)
+	}
+	if d.logicalBytes <= 0 {
+		return nil, fmt.Errorf("ssd: configuration exports no capacity")
+	}
+	return d, nil
+}
+
+// Engine returns the simulation engine driving the device.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// LogicalBytes reports the exported capacity.
+func (d *Device) LogicalBytes() int64 { return d.logicalBytes }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (d *Device) Metrics() Metrics { return d.met }
+
+// QueueDepth reports the number of requests waiting for dispatch.
+func (d *Device) QueueDepth() int { return len(d.pending) }
+
+// RegionBoundary reports the byte offset where the MLC region begins on
+// a heterogeneous device, or 0 when the media is homogeneous. Bytes in
+// [0, boundary) live on SLC elements, [boundary, LogicalBytes()) on MLC.
+func (d *Device) RegionBoundary() int64 {
+	if d.cfg.MLCElements == 0 {
+		return 0
+	}
+	slcElems := d.cfg.Elements - d.cfg.MLCElements
+	perElem := int64(d.elems[0].LogicalPages()) * int64(d.cfg.Geom.PageSize)
+	return perElem * int64(slcElems)
+}
+
+// Elements exposes the per-element FTLs for inspection.
+func (d *Device) Elements() []ftl.Backend { return d.elems }
+
+// GCStats aggregates cleaning statistics across the gang.
+func (d *Device) GCStats() GCStats {
+	var g GCStats
+	for _, el := range d.elems {
+		s := el.Stats()
+		g.HostPageReads += s.HostReads
+		g.HostPageWrites += s.HostWrites
+		g.PagesMoved += s.PagesMoved
+		g.Cleans += s.Cleans
+		g.GCErases += s.GCErases
+		g.Migrations += s.Migrations
+		g.CleanTime += s.CleanTime
+		g.FreesSeen += s.FreesSeen
+		g.FreesApplied += s.FreesApplied
+	}
+	return g
+}
+
+// WriteAmplification reports media page writes (stripe rewrites plus GC
+// relocation) divided by the pages the host actually sent: the §3.4
+// amplification factor.
+func (d *Device) WriteAmplification() float64 {
+	if d.met.BytesWritten == 0 {
+		return 0
+	}
+	g := d.GCStats()
+	hostPages := float64(d.met.BytesWritten) / float64(d.cfg.Geom.PageSize)
+	return float64(g.HostPageWrites+g.PagesMoved) / hostPages
+}
+
+// Submit enqueues an operation at the current simulated time. onDone, if
+// non-nil, runs at completion. Frees are metadata-only (zero service
+// time) but still flow through the dispatch queue so they order behind
+// earlier writes to the same elements.
+func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	if op.End() > d.logicalBytes {
+		return fmt.Errorf("ssd: request [%d, +%d) beyond capacity %d", op.Offset, op.Size, d.logicalBytes)
+	}
+	now := d.eng.Now()
+	req := &Request{Op: op, Arrive: now, onDone: onDone}
+	d.met.Requests++
+	// Write-back buffer: absorb the write at RAM speed and let an
+	// internal request do the media work. A full buffer bypasses.
+	if d.cfg.WriteBufferBytes > 0 && op.Kind == trace.Write {
+		if d.bufOccupancy+op.Size <= d.cfg.WriteBufferBytes {
+			d.bufOccupancy += op.Size
+			d.met.BufferedWrites++
+			if op.Priority {
+				d.outstandingPri++ // complete() balances this
+			}
+			// The drain request does the media work without priority (the
+			// host has already been acknowledged).
+			drainOp := op
+			drainOp.Priority = false
+			d.enqueue(&Request{Op: drainOp, Arrive: now, internal: true})
+			// The host sees the buffer-insert latency only.
+			d.eng.After(d.cfg.CtrlOverhead, func() {
+				req.Start = req.Arrive
+				d.complete(req)
+			})
+			d.pump()
+			return nil
+		}
+		d.met.BufferBypass++
+	}
+	d.enqueue(req)
+	d.pump()
+	return nil
+}
+
+// enqueue adds a request to the dispatch queue.
+func (d *Device) enqueue(req *Request) {
+	if req.Op.Priority {
+		d.outstandingPri++
+	}
+	d.seq++
+	d.pending = append(d.pending, &pendJob{
+		req:   req,
+		entry: &sched.Entry{Elems: d.elemsFor(req.Op), Seq: d.seq},
+	})
+}
+
+// Play schedules every operation at its trace timestamp and runs the
+// engine until the device drains. It returns the first submission error.
+func (d *Device) Play(ops []trace.Op) error {
+	var firstErr error
+	for _, op := range ops {
+		op := op
+		d.eng.At(op.At, func() {
+			if err := d.Submit(op, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	d.eng.Run()
+	return firstErr
+}
+
+// ClosedLoop keeps depth requests outstanding, drawing operations from
+// gen until it returns false. Each op's At field is ignored; arrivals
+// happen on completion. Returns the first submission error.
+func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
+	if depth <= 0 {
+		depth = 1
+	}
+	var firstErr error
+	i := 0
+	var issue func()
+	issue = func() {
+		op, ok := gen(i)
+		if !ok {
+			return
+		}
+		i++
+		if err := d.Submit(op, func(*Request) { issue() }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for k := 0; k < depth; k++ {
+		issue()
+	}
+	d.eng.Run()
+	return firstErr
+}
+
+// ---- internal machinery ----
+
+// pump advances the device state machine: mandatory cleaning, dispatch,
+// opportunistic cleaning. It is called on every arrival and completion.
+func (d *Device) pump() {
+	now := d.eng.Now()
+	for {
+		progress := false
+		// Mandatory cleaning: below the critical watermark always; below
+		// the low watermark too when the device is priority-agnostic
+		// ("cleaning starts at the low threshold irrespective of the
+		// outstanding requests").
+		for e := range d.elems {
+			if d.busyUntil[e] > now {
+				continue
+			}
+			if d.mustClean(e) && d.startClean(e) {
+				progress = true
+			}
+		}
+		// Dispatch as many queued requests as have idle elements.
+		for {
+			idx := d.pick(now)
+			if idx < 0 {
+				break
+			}
+			d.dispatch(idx)
+			progress = true
+		}
+		// Opportunistic cleaning (priority-aware only): clean at the low
+		// watermark when no priority request is outstanding.
+		for e := range d.elems {
+			if d.busyUntil[e] > now {
+				continue
+			}
+			if d.wantClean(e) && d.startClean(e) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (d *Device) mustClean(e int) bool {
+	el := d.elems[e]
+	if !el.CanClean() {
+		return false
+	}
+	f := el.FreeFraction()
+	if d.cfg.GCCritical > 0 && f < d.cfg.GCCritical {
+		return true
+	}
+	if !d.cfg.PriorityAware && d.cfg.GCLow > 0 && f < d.cfg.GCLow {
+		return true
+	}
+	return false
+}
+
+func (d *Device) wantClean(e int) bool {
+	if !d.cfg.PriorityAware || d.cfg.GCLow == 0 {
+		return false
+	}
+	el := d.elems[e]
+	return el.CanClean() && el.FreeFraction() < d.cfg.GCLow && d.outstandingPri == 0
+}
+
+func (d *Device) startClean(e int) bool {
+	dur, err := d.elems[e].CleanOnce()
+	if err != nil {
+		return false
+	}
+	d.met.BackgroundCleans++
+	d.busyUntil[e] = d.eng.Now() + dur
+	d.eng.After(dur, d.pump)
+	return true
+}
+
+// pick returns the index of the next dispatchable pending job, or -1.
+// FCFS takes a fast path: pending is kept in arrival order, so only the
+// head can dispatch.
+func (d *Device) pick(now sim.Time) int {
+	if len(d.pending) == 0 {
+		return -1
+	}
+	if d.cfg.Scheduler == sched.FCFS {
+		if d.pending[0].entry.Wait(d.busyUntil, now) == 0 {
+			return 0
+		}
+		return -1
+	}
+	entries := make([]*sched.Entry, len(d.pending))
+	for i, j := range d.pending {
+		entries[i] = j.entry
+	}
+	return sched.Pick(d.cfg.Scheduler, entries, d.busyUntil, now)
+}
+
+func (d *Device) dispatch(idx int) {
+	j := d.pending[idx]
+	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+	now := d.eng.Now()
+	j.req.Start = now
+	durs := d.exec(j.req)
+	remaining := 0
+	for e, dur := range durs {
+		if dur == 0 {
+			continue
+		}
+		remaining++
+		d.busyUntil[e] = now + dur + d.cfg.CtrlOverhead
+	}
+	// The host link moves the request's data serially (but overlapped
+	// with flash work via DMA): it is one more completion constraint.
+	if d.cfg.InterfaceMBps > 0 {
+		linkTime := sim.Time(float64(j.req.Op.Size) / (d.cfg.InterfaceMBps * 1e6) * 1e9)
+		start := now
+		if d.linkBusy > start {
+			start = d.linkBusy
+		}
+		d.linkBusy = start + linkTime
+		remaining++
+		req := j.req
+		left := &remaining
+		d.eng.After(d.linkBusy-now, func() {
+			*left--
+			if *left == 0 {
+				d.complete(req)
+			}
+			d.pump()
+		})
+	}
+	if remaining == 0 {
+		d.complete(j.req)
+		return
+	}
+	for _, dur := range durs {
+		if dur == 0 {
+			continue
+		}
+		req := j.req
+		left := &remaining
+		d.eng.After(dur+d.cfg.CtrlOverhead, func() {
+			*left--
+			if *left == 0 {
+				d.complete(req)
+			}
+			d.pump()
+		})
+	}
+}
+
+func (d *Device) addClassResp(req *Request, ms float64) {
+	if req.Op.Priority {
+		d.met.PriResp.Add(ms)
+	} else {
+		d.met.BgResp.Add(ms)
+	}
+}
+
+func (d *Device) complete(req *Request) {
+	req.Done = d.eng.Now()
+	if req.internal {
+		// A buffered write finished its media work: release the buffer
+		// space; the host already saw its completion.
+		d.bufOccupancy -= req.Op.Size
+		return
+	}
+	d.met.Completed++
+	if req.Op.Priority {
+		d.outstandingPri--
+	}
+	if req.Err != nil {
+		d.met.Errors++
+	} else {
+		ms := req.Response().Millis()
+		switch req.Op.Kind {
+		case trace.Read:
+			d.met.ReadResp.Add(ms)
+			d.met.BytesRead += req.Op.Size
+			d.addClassResp(req, ms)
+		case trace.Write:
+			d.met.WriteResp.Add(ms)
+			d.met.BytesWritten += req.Op.Size
+			d.addClassResp(req, ms)
+		case trace.Free:
+			d.met.Frees++
+		}
+	}
+	if req.onDone != nil {
+		req.onDone(req)
+	}
+}

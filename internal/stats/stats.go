@@ -1,0 +1,313 @@
+// Package stats provides the measurement primitives shared by every
+// experiment: streaming mean/variance, log-bucketed latency histograms
+// with percentile estimation, bandwidth accounting, and plain-text table
+// rendering in the style of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean accumulates a streaming mean and variance (Welford's algorithm).
+// The zero value is an empty accumulator.
+type Mean struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a sample into the accumulator.
+func (m *Mean) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N reports the number of samples.
+func (m Mean) N() uint64 { return m.n }
+
+// Mean reports the sample mean (0 if empty).
+func (m Mean) Mean() float64 { return m.mean }
+
+// Min reports the smallest sample (0 if empty).
+func (m Mean) Min() float64 { return m.min }
+
+// Max reports the largest sample (0 if empty).
+func (m Mean) Max() float64 { return m.max }
+
+// Var reports the sample variance (0 with fewer than two samples).
+func (m Mean) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (m Mean) Std() float64 { return math.Sqrt(m.Var()) }
+
+// Histogram is a log-bucketed histogram for positive values. Buckets grow
+// geometrically, giving ~4% relative error on percentile estimates with
+// bounded memory regardless of sample count — the standard shape for
+// latency distributions that span nanoseconds to seconds.
+type Histogram struct {
+	acc     Mean
+	buckets [512]uint64
+}
+
+// N reports the number of samples.
+func (h Histogram) N() uint64 { return h.acc.N() }
+
+// Mean reports the sample mean.
+func (h Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Min reports the smallest sample.
+func (h Histogram) Min() float64 { return h.acc.Min() }
+
+// Max reports the largest sample.
+func (h Histogram) Max() float64 { return h.acc.Max() }
+
+// Std reports the sample standard deviation.
+func (h Histogram) Std() float64 { return h.acc.Std() }
+
+// bucketFor maps a positive value to a bucket index. Values are bucketed
+// by log base 2^(1/8): 8 sub-buckets per octave.
+func bucketFor(x float64) int {
+	if x < 1 {
+		return 0
+	}
+	b := int(math.Log2(x) * 8)
+	if b < 0 {
+		b = 0
+	}
+	if b > 511 {
+		b = 511
+	}
+	return b
+}
+
+// bucketValue returns the representative (geometric mid) value of bucket b.
+func bucketValue(b int) float64 {
+	return math.Pow(2, (float64(b)+0.5)/8)
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.acc.Add(x)
+	h.buckets[bucketFor(x)]++
+}
+
+// Percentile estimates the p-th percentile, p in [0, 100].
+func (h Histogram) Percentile(p float64) float64 {
+	if h.acc.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.acc.min
+	}
+	if p >= 100 {
+		return h.acc.max
+	}
+	target := uint64(math.Ceil(float64(h.acc.n) * p / 100))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			v := bucketValue(b)
+			if v < h.acc.min {
+				v = h.acc.min
+			}
+			if v > h.acc.max {
+				v = h.acc.max
+			}
+			return v
+		}
+	}
+	return h.acc.max
+}
+
+// Median is Percentile(50).
+func (h Histogram) Median() float64 { return h.Percentile(50) }
+
+// Bandwidth converts bytes moved over a duration (seconds) to MB/s, using
+// the paper's decimal-megabyte convention.
+func Bandwidth(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / seconds
+}
+
+// Ratio returns a/b, or +Inf when b is zero and a is not, matching how the
+// paper reports seq/rand ratios for devices whose random performance
+// rounds to zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Improvement returns the percentage improvement of 'new' over 'old' for a
+// lower-is-better metric such as response time.
+func Improvement(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (old - new) / old * 100
+}
+
+// Table renders aligned plain-text tables for experiment output.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-text footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.4f", v)
+	case math.Abs(v) < 10:
+		return fmt.Sprintf("%.2f", v)
+	case math.Abs(v) < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var out []byte
+	if t.Title != "" {
+		out = append(out, t.Title...)
+		out = append(out, '\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			out = append(out, fmt.Sprintf("%-*s", widths[i]+2, c)...)
+		}
+		// Trim trailing spaces for clean diffs.
+		for len(out) > 0 && out[len(out)-1] == ' ' {
+			out = out[:len(out)-1]
+		}
+		out = append(out, '\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.notes {
+		out = append(out, "  note: "...)
+		out = append(out, n...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// Series is a named (x, y) sequence used for figure-style outputs.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders the series as two aligned columns.
+func (s *Series) String() string {
+	out := fmt.Sprintf("# %s\n", s.Name)
+	for i := range s.X {
+		out += fmt.Sprintf("%12.4f %12.4f\n", s.X[i], s.Y[i])
+	}
+	return out
+}
+
+// Summarize returns min/median/max of a float slice (sorting a copy).
+func Summarize(xs []float64) (min, median, max float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c[0], c[len(c)/2], c[len(c)-1]
+}

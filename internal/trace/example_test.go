@@ -1,0 +1,39 @@
+package trace_test
+
+import (
+	"fmt"
+	"os"
+
+	"ossd/internal/trace"
+)
+
+// ExampleAlign shows the §3.4 merge-and-align pass: eight contiguous
+// 4 KB writes become one stripe-aligned 32 KB write.
+func ExampleAlign() {
+	var ops []trace.Op
+	for i := int64(0); i < 8; i++ {
+		ops = append(ops, trace.Op{At: 0, Kind: trace.Write, Offset: i * 4096, Size: 4096})
+	}
+	aligned, err := trace.Align(ops, 32<<10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d ops in, %d out: %v bytes at offset %d\n",
+		len(ops), len(aligned), aligned[0].Size, aligned[0].Offset)
+	// Output: 8 ops in, 1 out: 32768 bytes at offset 0
+}
+
+// ExampleEncode shows the text trace format.
+func ExampleEncode() {
+	ops := []trace.Op{
+		{At: 1000, Kind: trace.Write, Offset: 4096, Size: 8192},
+		{At: 2000, Kind: trace.Free, Offset: 4096, Size: 8192, Priority: true},
+	}
+	if err := trace.Encode(os.Stdout, ops); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// 1000 W 4096 8192
+	// 2000 F 4096 8192 P
+}

@@ -1,0 +1,198 @@
+// Package trace defines the block-level trace representation shared by
+// the workload generators, the devices, and the experiment harness: timed
+// read, write, and free (deallocation) operations over a byte address
+// space. It also implements the paper's §3.4 write merging-and-alignment
+// pass and a plain-text codec so traces can be saved and replayed with
+// cmd/tracegen and cmd/ssdsim.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ossd/internal/sim"
+)
+
+// Kind is the operation type.
+type Kind uint8
+
+const (
+	// Read transfers data from the device.
+	Read Kind = iota
+	// Write transfers data to the device.
+	Write
+	// Free tells the device a range no longer holds live data (a file
+	// deletion, the TRIM/OSD-delete signal of §3.5).
+	Free
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case Free:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// Op is one trace record.
+type Op struct {
+	// At is the arrival time.
+	At sim.Time
+	// Kind is the operation type.
+	Kind Kind
+	// Offset and Size delimit the byte range.
+	Offset, Size int64
+	// Priority marks a foreground (high-priority) request (§3.6).
+	Priority bool
+}
+
+// End returns the first byte past the operation's range.
+func (o Op) End() int64 { return o.Offset + o.Size }
+
+// overlaps reports whether two byte ranges intersect.
+func (o Op) overlaps(off, size int64) bool {
+	return o.Offset < off+size && off < o.End()
+}
+
+// Validate reports structural problems with an op.
+func (o Op) Validate() error {
+	if o.Offset < 0 || o.Size <= 0 {
+		return fmt.Errorf("trace: bad range [%d, +%d)", o.Offset, o.Size)
+	}
+	if o.At < 0 {
+		return fmt.Errorf("trace: negative timestamp %d", o.At)
+	}
+	if o.Kind > Free {
+		return fmt.Errorf("trace: unknown kind %d", o.Kind)
+	}
+	return nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Ops         int
+	Reads       int
+	Writes      int
+	Frees       int
+	ReadBytes   int64
+	WriteBytes  int64
+	FreedBytes  int64
+	Duration    sim.Time
+	MaxOffset   int64
+	PriorityOps int
+}
+
+// Summarize scans a trace.
+func Summarize(ops []Op) Stats {
+	var s Stats
+	s.Ops = len(ops)
+	for _, o := range ops {
+		switch o.Kind {
+		case Read:
+			s.Reads++
+			s.ReadBytes += o.Size
+		case Write:
+			s.Writes++
+			s.WriteBytes += o.Size
+		case Free:
+			s.Frees++
+			s.FreedBytes += o.Size
+		}
+		if o.Priority {
+			s.PriorityOps++
+		}
+		if o.At > s.Duration {
+			s.Duration = o.At
+		}
+		if o.End() > s.MaxOffset {
+			s.MaxOffset = o.End()
+		}
+	}
+	return s
+}
+
+// Encode writes ops in the text format, one per line:
+//
+//	<at_ns> <R|W|F> <offset> <size> [P]
+func Encode(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, o := range ops {
+		if err := o.Validate(); err != nil {
+			return err
+		}
+		pri := ""
+		if o.Priority {
+			pri = " P"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d%s\n", int64(o.At), o.Kind, o.Offset, o.Size, pri); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text format produced by Encode. Blank lines and lines
+// starting with '#' are skipped.
+func Decode(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 4 || len(f) > 5 {
+			return nil, fmt.Errorf("trace: line %d: want 4 or 5 fields, got %d", line, len(f))
+		}
+		at, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", line, err)
+		}
+		var kind Kind
+		switch f[1] {
+		case "R":
+			kind = Read
+		case "W":
+			kind = Write
+		case "F":
+			kind = Free
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad kind %q", line, f[1])
+		}
+		off, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad offset: %v", line, err)
+		}
+		size, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %v", line, err)
+		}
+		op := Op{At: sim.Time(at), Kind: kind, Offset: off, Size: size}
+		if len(f) == 5 {
+			if f[4] != "P" {
+				return nil, fmt.Errorf("trace: line %d: bad flag %q", line, f[4])
+			}
+			op.Priority = true
+		}
+		if err := op.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
