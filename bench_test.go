@@ -16,6 +16,7 @@ import (
 	"ossd/internal/experiments"
 	"ossd/internal/flash"
 	"ossd/internal/ftl"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -26,7 +27,7 @@ import (
 // BenchmarkTable1Contract probes the six unwritten-contract terms.
 func BenchmarkTable1Contract(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Contract(1)
+		r, err := experiments.Contract(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -318,6 +319,57 @@ func BenchmarkAblationGCPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkRunnerSerial and BenchmarkRunnerParallel run the same reduced
+// Table 2 through the experiment runner at one worker and at the
+// GOMAXPROCS default; their ratio is the evaluation's fan-out speedup on
+// this machine (1.0 on a single-core host).
+func benchTable2(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(experiments.Table2Options{
+			BytesPerTest:     4 << 20,
+			RandBytesPerTest: 1 << 20,
+			Seed:             1,
+			Workers:          workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B)   { benchTable2(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B) { benchTable2(b, runner.DefaultWorkers()) }
+
+// BenchmarkOSDDeviceWritePath measures block writes traveling the object
+// path (extent lookup + store bookkeeping) against the raw device.
+func BenchmarkOSDDeviceWritePath(b *testing.B) {
+	d, err := core.NewOSD(ssd.Config{
+		Elements:      8,
+		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+		Overprovision: 0.10,
+		Layout:        ssd.Interleaved,
+		Scheduler:     sched.SWTF,
+		CtrlOverhead:  10 * sim.Microsecond,
+		GCLow:         0.05, GCCritical: 0.02,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := d.LogicalBytes()
+	rng := sim.NewRNG(5)
+	b.ResetTimer()
+	i := 0
+	err = d.ClosedLoop(4, func(int) (trace.Op, bool) {
+		if i >= b.N {
+			return trace.Op{}, false
+		}
+		i++
+		return trace.Op{Kind: trace.Write, Offset: rng.Int63n(space/4096) * 4096, Size: 4096}, true
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEngineThroughput measures the raw event engine.
 func BenchmarkEngineThroughput(b *testing.B) {
 	eng := sim.NewEngine()
@@ -396,7 +448,7 @@ func BenchmarkAlignerThroughput(b *testing.B) {
 // BenchmarkExtensionSchemes regenerates the FTL-scheme comparison.
 func BenchmarkExtensionSchemes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Schemes(1)
+		r, err := experiments.Schemes(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -408,7 +460,7 @@ func BenchmarkExtensionSchemes(b *testing.B) {
 // BenchmarkExtensionLifetime regenerates the endurance comparison.
 func BenchmarkExtensionLifetime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Lifetime(1)
+		r, err := experiments.Lifetime(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

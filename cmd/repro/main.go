@@ -1,11 +1,14 @@
 // Command repro regenerates every table and figure from the paper's
-// evaluation section. With no flags it runs the full suite and prints
-// each result in the paper's format; -run selects a subset.
+// evaluation section. Experiments execute concurrently on a worker pool
+// (and fan their own independent simulations out further); the report is
+// assembled in experiment order, so its bytes are identical for a fixed
+// seed regardless of worker count. With no flags it runs the full suite
+// and prints each result in the paper's format; -run selects a subset.
 //
 //	repro                  # everything
 //	repro -run table2,figure3
 //	repro -list            # show available experiments
-//	repro -seed 7 -o report.txt
+//	repro -seed 7 -workers 4 -o report.txt
 package main
 
 import (
@@ -14,47 +17,48 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
+	"sync"
 
 	"ossd/internal/experiments"
+	"ossd/internal/runner"
 )
 
-type runner struct {
+type experiment struct {
 	id, desc string
-	run      func(seed int64) (experiments.Result, error)
+	run      func(seed int64, workers int) (experiments.Result, error)
 }
 
-func runners() []runner {
-	return []runner{
-		{"contract", "Table 1: unwritten-contract terms probed on disk, RAID, MEMS, and SSD", func(seed int64) (experiments.Result, error) {
-			return experiments.Contract(seed)
+func catalog() []experiment {
+	return []experiment{
+		{"contract", "Table 1: unwritten-contract terms probed on disk, RAID, MEMS, and SSD", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Contract(seed, workers)
 		}},
-		{"table2", "Table 2: sequential vs random bandwidth across device profiles", func(seed int64) (experiments.Result, error) {
-			return experiments.Table2(experiments.Table2Options{Seed: seed})
+		{"table2", "Table 2: sequential vs random bandwidth across device profiles", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Table2(experiments.Table2Options{Seed: seed, Workers: workers})
 		}},
-		{"swtf", "Section 3.2: SWTF vs FCFS scheduling", func(seed int64) (experiments.Result, error) {
-			return experiments.SWTF(experiments.SWTFOptions{Seed: seed})
+		{"swtf", "Section 3.2: SWTF vs FCFS scheduling", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.SWTF(experiments.SWTFOptions{Seed: seed, Workers: workers})
 		}},
-		{"figure2", "Figure 2: write-amplification saw-tooth (bandwidth vs write size)", func(seed int64) (experiments.Result, error) {
-			return experiments.Figure2(experiments.Figure2Options{MaxBytes: 9 << 20})
+		{"figure2", "Figure 2: write-amplification saw-tooth (bandwidth vs write size)", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Figure2(experiments.Figure2Options{MaxBytes: 9 << 20, Workers: workers})
 		}},
-		{"table3", "Table 3: aligned vs unaligned writes across sequentiality", func(seed int64) (experiments.Result, error) {
-			return experiments.Table3(experiments.Table3Options{Seed: seed})
+		{"table3", "Table 3: aligned vs unaligned writes across sequentiality", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Table3(experiments.Table3Options{Seed: seed, Workers: workers})
 		}},
-		{"table4", "Table 4: alignment improvement on macro workloads", func(seed int64) (experiments.Result, error) {
-			return experiments.Table4(experiments.Table4Options{Seed: seed})
+		{"table4", "Table 4: alignment improvement on macro workloads", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Table4(experiments.Table4Options{Seed: seed, Workers: workers})
 		}},
-		{"table5", "Table 5: informed cleaning with free-page information", func(seed int64) (experiments.Result, error) {
-			return experiments.Table5(experiments.Table5Options{Seed: seed})
+		{"table5", "Table 5: informed cleaning with free-page information", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Table5(experiments.Table5Options{Seed: seed, Workers: workers})
 		}},
-		{"figure3", "Figure 3 + Table 6: priority-aware cleaning", func(seed int64) (experiments.Result, error) {
-			return experiments.Figure3(experiments.Figure3Options{Seed: seed})
+		{"figure3", "Figure 3 + Table 6: priority-aware cleaning", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Figure3(experiments.Figure3Options{Seed: seed, Workers: workers})
 		}},
-		{"schemes", "Extension: page/hybrid/block FTL mapping schemes compared", func(seed int64) (experiments.Result, error) {
-			return experiments.Schemes(seed)
+		{"schemes", "Extension: page/hybrid/block FTL mapping schemes compared", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Schemes(seed, workers)
 		}},
-		{"lifetime", "Extension: endurance under skewed writes (wear-leveling, SLC vs MLC)", func(seed int64) (experiments.Result, error) {
-			return experiments.Lifetime(seed)
+		{"lifetime", "Extension: endurance under skewed writes (wear-leveling, SLC vs MLC)", func(seed int64, workers int) (experiments.Result, error) {
+			return experiments.Lifetime(seed, workers)
 		}},
 	}
 }
@@ -64,14 +68,15 @@ func main() {
 		runList = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "random seed for workloads")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		outPath = flag.String("o", "", "write the report to this file (default stdout)")
 	)
 	flag.Parse()
 
-	rs := runners()
+	cat := catalog()
 	if *list {
-		for _, r := range rs {
-			fmt.Printf("%-10s %s\n", r.id, r.desc)
+		for _, e := range cat {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
 		}
 		return
 	}
@@ -94,8 +99,8 @@ func main() {
 	}
 
 	known := map[string]bool{}
-	for _, r := range rs {
-		known[r.id] = true
+	for _, e := range cat {
+		known[e.id] = true
 	}
 	if !all {
 		for id := range want {
@@ -106,22 +111,65 @@ func main() {
 		}
 	}
 
+	var selected []experiment
+	for _, e := range cat {
+		if all || want[e.id] {
+			selected = append(selected, e)
+		}
+	}
+
+	// Split the worker budget across the two fan-out levels so peak
+	// concurrency stays bounded by the budget: up to `outer` experiments
+	// run at once, each fanning its own specs across `inner` workers.
+	// One experiment selected -> all workers go to its specs; many
+	// selected -> experiments parallelize and their insides serialize.
+	budget := *workers
+	if budget <= 0 {
+		budget = runner.DefaultWorkers()
+	}
+	outer := budget
+	if outer > len(selected) {
+		outer = len(selected)
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner := budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	var mu sync.Mutex
+	specs := make([]runner.Spec[experiments.Result], len(selected))
+	for i, e := range selected {
+		e := e
+		specs[i] = runner.Spec[experiments.Result]{
+			Name: e.id,
+			Seed: *seed,
+			Run:  func() (experiments.Result, error) { return e.run(*seed, inner) },
+		}
+	}
+	outcomes := runner.RunAll(specs, runner.Options{
+		Workers: outer,
+		OnStart: func(name string) {
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "running %s ...\n", name)
+			mu.Unlock()
+		},
+	})
+
+	// Timing goes to stderr only: the report must be byte-identical for a
+	// fixed seed regardless of worker count or machine speed.
 	fmt.Fprintf(out, "Block Management in Solid-State Devices — reproduction report\n")
 	fmt.Fprintf(out, "seed=%d\n\n", *seed)
 	failed := false
-	for _, r := range rs {
-		if !all && !want[r.id] {
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "running %s ...\n", r.id)
-		start := time.Now()
-		res, err := r.run(*seed)
-		if err != nil {
-			fmt.Fprintf(out, "== %s FAILED: %v\n\n", r.id, err)
+	for i, o := range outcomes {
+		fmt.Fprintf(os.Stderr, "%-10s finished in %.1fs\n", o.Name, o.Elapsed.Seconds())
+		if o.Err != nil {
+			fmt.Fprintf(out, "== %s FAILED: %v\n\n", o.Name, o.Err)
 			failed = true
 			continue
 		}
-		fmt.Fprintf(out, "== %s (%s) [%.1fs]\n%s\n", r.id, r.desc, time.Since(start).Seconds(), res.String())
+		fmt.Fprintf(out, "== %s (%s)\n%s\n", o.Name, selected[i].desc, o.Value.String())
 	}
 	if failed {
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"ossd/internal/core"
 	"ossd/internal/ftl"
 	"ossd/internal/sim"
+	"ossd/internal/ssd"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
 	"ossd/internal/workload"
@@ -45,12 +46,8 @@ func main() {
 	}
 
 	if *list {
-		for _, p := range core.Profiles() {
-			kind := "ssd"
-			if p.IsHDD {
-				kind = "hdd"
-			}
-			fmt.Printf("%-10s %-4s %s\n", p.Name, kind, p.Description)
+		for _, p := range core.ExtendedProfiles() {
+			fmt.Printf("%-10s %-4s %s\n", p.Name, p.Kind, p.Description)
 		}
 		return
 	}
@@ -126,32 +123,40 @@ func main() {
 	}
 
 	start := dev.Engine().Now()
-	startCompleted, startRead, startWritten := dev.Counters()
+	before := dev.Metrics()
 	if err := dev.Play(opsIn); err != nil {
 		fail(err)
 	}
 	elapsed := (dev.Engine().Now() - start).Seconds()
-	completed, bytesRead, bytesWritten := dev.Counters()
-	rMean, wMean := dev.MeanResponseMs()
+	after := dev.Metrics()
 
 	fmt.Printf("device        %s (%s)\n", p.Name, p.Description)
-	fmt.Printf("ops           %d completed in %.3fs simulated\n", completed-startCompleted, elapsed)
+	fmt.Printf("ops           %d completed in %.3fs simulated\n", after.Completed-before.Completed, elapsed)
 	fmt.Printf("read          %.1f MB at %.1f MB/s\n",
-		float64(bytesRead-startRead)/1e6, stats.Bandwidth(bytesRead-startRead, elapsed))
+		float64(after.BytesRead-before.BytesRead)/1e6, stats.Bandwidth(after.BytesRead-before.BytesRead, elapsed))
 	fmt.Printf("write         %.1f MB at %.1f MB/s\n",
-		float64(bytesWritten-startWritten)/1e6, stats.Bandwidth(bytesWritten-startWritten, elapsed))
-	fmt.Printf("mean response read %.3f ms, write %.3f ms (cumulative incl. precondition)\n", rMean, wMean)
+		float64(after.BytesWritten-before.BytesWritten)/1e6, stats.Bandwidth(after.BytesWritten-before.BytesWritten, elapsed))
+	fmt.Printf("mean response read %.3f ms, write %.3f ms (cumulative incl. precondition)\n", after.MeanReadMs, after.MeanWriteMs)
 
+	var raw *ssd.Device
 	if s, ok := dev.(*core.SSD); ok {
-		g := s.Raw.GCStats()
-		m := s.Raw.Metrics()
+		raw = s.Raw
+	} else if o, ok := dev.(*core.OSD); ok {
+		raw = o.Raw
+		st := o.Store.Stats()
+		fmt.Printf("object store  %.1f MB written, %.1f MB read, %.1f MB freed through extents\n",
+			float64(st.BytesWritten)/1e6, float64(st.BytesRead)/1e6, float64(st.FreedBytes)/1e6)
+	}
+	if raw != nil {
+		g := raw.GCStats()
+		m := raw.Metrics()
 		fmt.Printf("cleaning      %d passes, %d pages moved, %v total, %d erases\n",
 			g.Cleans, g.PagesMoved, g.CleanTime, g.GCErases)
 		fmt.Printf("frees         %d seen, %d applied\n", g.FreesSeen, g.FreesApplied)
-		fmt.Printf("write amp     %.2fx\n", s.Raw.WriteAmplification())
+		fmt.Printf("write amp     %.2fx\n", raw.WriteAmplification())
 		fmt.Printf("bg cleans     %d (device-initiated)\n", m.BackgroundCleans)
 		var wmin, wmax int
-		for i, el := range s.Raw.Elements() {
+		for i, el := range raw.Elements() {
 			w := el.Wear()
 			if i == 0 || w.Min < wmin {
 				wmin = w.Min

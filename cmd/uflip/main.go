@@ -71,7 +71,7 @@ func granularity(p core.Profile, seed int64) error {
 	t := stats.NewTable("Probe: granularity (MB/s by request size)",
 		"Size", "SeqRead", "RandRead", "SeqWrite", "RandWrite")
 	for _, size := range []int64{4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
-		row := []interface{}{fmt.Sprintf("%dKiB", size>>10)}
+		row := []any{fmt.Sprintf("%dKiB", size>>10)}
 		for _, tc := range []struct {
 			kind    trace.Kind
 			pattern core.Pattern
@@ -102,7 +102,7 @@ func granularity(p core.Profile, seed int64) error {
 // offsets: aligned writes replace the stripe in place; shifted ones
 // straddle two stripes and pay read-modify-write on both.
 func alignment(p core.Profile, seed int64) error {
-	if p.IsHDD {
+	if p.Kind != core.KindSSD {
 		return fmt.Errorf("alignment probe needs an SSD profile")
 	}
 	stripe := p.SSD.StripeBytes
@@ -228,7 +228,8 @@ func mix(p core.Profile, seed int64) error {
 			m := sd.Raw.Metrics()
 			t.AddRow(fmt.Sprintf("%.0f%%", rf*100), m.ReadResp.Mean(), m.WriteResp.Mean())
 		} else {
-			rms, wms := d.MeanResponseMs()
+			m := d.Metrics()
+			rms, wms := m.MeanReadMs, m.MeanWriteMs
 			t.AddRow(fmt.Sprintf("%.0f%%", rf*100), rms, wms)
 		}
 	}

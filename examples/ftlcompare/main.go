@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	r, err := experiments.Schemes(1)
+	r, err := experiments.Schemes(1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -47,8 +47,7 @@ func main() {
 			d2.Raw.Submit(trace.Op{Kind: trace.Write, Offset: base + int64(i)*4096, Size: 4096}, nil)
 		}
 		eng.Run()
-		_, w := d2.MeanResponseMs()
-		return w
+		return d2.Metrics().MeanWriteMs
 	}
 	slcMs := measure(0)
 	mlcMs := measure(dev.Raw.RegionBoundary())

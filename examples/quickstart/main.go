@@ -54,11 +54,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	completed, bytesRead, bytesWritten := dev.Counters()
-	readMs, writeMs := dev.MeanResponseMs()
-	fmt.Printf("completed:       %d requests in %v simulated\n", completed, dev.Engine().Now())
-	fmt.Printf("moved:           %d MB written, %d MB read\n", bytesWritten>>20, bytesRead>>20)
-	fmt.Printf("mean response:   read %.3f ms, write %.3f ms\n", readMs, writeMs)
+	m := dev.Metrics()
+	fmt.Printf("completed:       %d requests in %v simulated\n", m.Completed, dev.Engine().Now())
+	fmt.Printf("moved:           %d MB written, %d MB read\n", m.BytesWritten>>20, m.BytesRead>>20)
+	fmt.Printf("mean response:   read %.3f ms, write %.3f ms\n", m.MeanReadMs, m.MeanWriteMs)
 
 	g := dev.Raw.GCStats()
 	fmt.Printf("free notices:    %d pages dropped from the FTL\n", g.FreesApplied)

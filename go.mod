@@ -1,0 +1,3 @@
+module ossd
+
+go 1.24

@@ -1,7 +1,7 @@
-// Package core is the public facade of the library: a unified Device
-// interface over the simulated SSD (ossd/internal/ssd) and HDD
-// (ossd/internal/hdd), the bandwidth-measurement harness used by the
-// paper's Table 2, and the named device profiles the experiments run
+// Package core is the public facade of the library: one Device interface
+// spanning every simulated substrate — SSD, HDD, MEMS, RAID, and the
+// object-fronted SSD — plus the bandwidth-measurement harness used by the
+// paper's Table 2 and the named device profiles the experiments run
 // against. Examples, command-line tools, and benchmarks consume this
 // package; the internal substrates stay swappable behind it.
 package core
@@ -15,13 +15,20 @@ import (
 	"ossd/internal/trace"
 )
 
-// Device is the block-level view shared by the SSD and HDD models: submit
-// timed operations, replay traces, or drive a closed loop, all on a
-// simulated clock.
+// Device is the block-level view shared by all media models: submit timed
+// operations, send free (TRIM/delete) notifications, replay traces or
+// drive a closed loop, and snapshot metrics, all on a simulated clock.
+// A Device owns its engine; device instances are independent simulations
+// and may run concurrently with each other (never individually shared
+// across goroutines).
 type Device interface {
 	// Submit enqueues an operation at the current simulated time; onDone
 	// (optional) receives the response time when it completes.
 	Submit(op trace.Op, onDone func(resp sim.Time, err error)) error
+	// Free tells the device a byte range no longer holds live data (the
+	// TRIM/OSD-delete signal of §3.5). Devices without block management
+	// complete it as a metadata-only no-op.
+	Free(off, size int64) error
 	// Play replays a timestamped trace to completion.
 	Play(ops []trace.Op) error
 	// ClosedLoop keeps depth ops outstanding, drawing from gen until it
@@ -31,10 +38,30 @@ type Device interface {
 	Engine() *sim.Engine
 	// LogicalBytes reports the usable capacity.
 	LogicalBytes() int64
-	// Counters reports completed ops and host bytes moved.
-	Counters() (completed int64, bytesRead, bytesWritten int64)
-	// MeanResponseMs reports mean read and write response times.
-	MeanResponseMs() (read, write float64)
+	// Metrics reports a device-independent snapshot of activity so far.
+	Metrics() Snapshot
+}
+
+// Snapshot is the metrics view common to every Device. Substrate-specific
+// detail (GC stats, seek counts, parity traffic) stays on the wrapped
+// model, reachable through each wrapper's Raw field.
+type Snapshot struct {
+	// Completed counts finished requests, including frees.
+	Completed int64
+	// BytesRead and BytesWritten count host data moved.
+	BytesRead, BytesWritten int64
+	// Frees counts free notifications the device tracked. Media without
+	// block management complete frees but do not count them.
+	Frees int64
+	// Errors counts failed requests (flash wear-out; zero elsewhere).
+	Errors int64
+	// MeanReadMs and MeanWriteMs are mean response times in milliseconds.
+	MeanReadMs, MeanWriteMs float64
+}
+
+// freeOp builds the trace record for a Free notification.
+func freeOp(off, size int64) trace.Op {
+	return trace.Op{Kind: trace.Free, Offset: off, Size: size}
 }
 
 // SSD wraps the flash device as a core.Device while keeping the rich
@@ -61,6 +88,9 @@ func (s *SSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	return s.Raw.Submit(op, cb)
 }
 
+// Free implements Device: the FTL drops the mapped pages.
+func (s *SSD) Free(off, size int64) error { return s.Raw.Submit(freeOp(off, size), nil) }
+
 // Play implements Device.
 func (s *SSD) Play(ops []trace.Op) error { return s.Raw.Play(ops) }
 
@@ -75,17 +105,22 @@ func (s *SSD) Engine() *sim.Engine { return s.Raw.Engine() }
 // LogicalBytes implements Device.
 func (s *SSD) LogicalBytes() int64 { return s.Raw.LogicalBytes() }
 
-// Counters implements Device.
-func (s *SSD) Counters() (int64, int64, int64) {
-	m := s.Raw.Metrics()
-	return m.Completed, m.BytesRead, m.BytesWritten
+// ssdSnapshot converts the flash device's metrics; shared by the SSD
+// and OSD wrappers, which front the same model.
+func ssdSnapshot(m ssd.Metrics) Snapshot {
+	return Snapshot{
+		Completed:    m.Completed,
+		BytesRead:    m.BytesRead,
+		BytesWritten: m.BytesWritten,
+		Frees:        m.Frees,
+		Errors:       m.Errors,
+		MeanReadMs:   m.ReadResp.Mean(),
+		MeanWriteMs:  m.WriteResp.Mean(),
+	}
 }
 
-// MeanResponseMs implements Device.
-func (s *SSD) MeanResponseMs() (float64, float64) {
-	m := s.Raw.Metrics()
-	return m.ReadResp.Mean(), m.WriteResp.Mean()
-}
+// Metrics implements Device.
+func (s *SSD) Metrics() Snapshot { return ssdSnapshot(s.Raw.Metrics()) }
 
 // HDD wraps the disk model as a core.Device.
 type HDD struct {
@@ -110,6 +145,10 @@ func (h *HDD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	return h.Raw.Submit(op, cb)
 }
 
+// Free implements Device: disks have no TRIM; the request completes as a
+// metadata no-op.
+func (h *HDD) Free(off, size int64) error { return h.Raw.Submit(freeOp(off, size), nil) }
+
 // Play implements Device.
 func (h *HDD) Play(ops []trace.Op) error { return h.Raw.Play(ops) }
 
@@ -124,16 +163,16 @@ func (h *HDD) Engine() *sim.Engine { return h.Raw.Engine() }
 // LogicalBytes implements Device.
 func (h *HDD) LogicalBytes() int64 { return h.Raw.LogicalBytes() }
 
-// Counters implements Device.
-func (h *HDD) Counters() (int64, int64, int64) {
+// Metrics implements Device.
+func (h *HDD) Metrics() Snapshot {
 	m := h.Raw.Metrics()
-	return m.Completed, m.BytesRead, m.BytesWritten
-}
-
-// MeanResponseMs implements Device.
-func (h *HDD) MeanResponseMs() (float64, float64) {
-	m := h.Raw.Metrics()
-	return m.ReadResp.Mean(), m.WriteResp.Mean()
+	return Snapshot{
+		Completed:    m.Completed,
+		BytesRead:    m.BytesRead,
+		BytesWritten: m.BytesWritten,
+		MeanReadMs:   m.ReadResp.Mean(),
+		MeanWriteMs:  m.WriteResp.Mean(),
+	}
 }
 
 // Compile-time interface checks.

@@ -36,12 +36,11 @@ func TestSSDWrapperRoundTrip(t *testing.T) {
 	if gotErr != nil || resp <= 0 {
 		t.Fatalf("submit callback: %v %v", resp, gotErr)
 	}
-	completed, _, written := d.Counters()
-	if completed != 1 || written != 4096 {
-		t.Fatalf("counters: %d %d", completed, written)
+	m := d.Metrics()
+	if m.Completed != 1 || m.BytesWritten != 4096 {
+		t.Fatalf("metrics: %d %d", m.Completed, m.BytesWritten)
 	}
-	_, w := d.MeanResponseMs()
-	if w <= 0 {
+	if m.MeanWriteMs <= 0 {
 		t.Fatal("no write response recorded")
 	}
 }
@@ -73,8 +72,8 @@ func TestRAIDAndMEMSWrappers(t *testing.T) {
 	if err := r.Play([]trace.Op{{Kind: trace.Write, Offset: 0, Size: 4096}}); err != nil {
 		t.Fatal(err)
 	}
-	if c, _, w := r.Counters(); c != 1 || w != 4096 {
-		t.Fatalf("raid counters: %d %d", c, w)
+	if rm := r.Metrics(); rm.Completed != 1 || rm.BytesWritten != 4096 {
+		t.Fatalf("raid metrics: %d %d", rm.Completed, rm.BytesWritten)
 	}
 	m, err := NewMEMS(DefaultMEMS())
 	if err != nil {
@@ -83,11 +82,10 @@ func TestRAIDAndMEMSWrappers(t *testing.T) {
 	if err := m.Play([]trace.Op{{Kind: trace.Read, Offset: 0, Size: 4096}}); err != nil {
 		t.Fatal(err)
 	}
-	if c, rd, _ := m.Counters(); c != 1 || rd != 4096 {
-		t.Fatalf("mems counters: %d %d", c, rd)
+	if mm := m.Metrics(); mm.Completed != 1 || mm.BytesRead != 4096 {
+		t.Fatalf("mems metrics: %d %d", mm.Completed, mm.BytesRead)
 	}
-	rms, _ := m.MeanResponseMs()
-	if rms <= 0 {
+	if m.Metrics().MeanReadMs <= 0 {
 		t.Fatal("mems read mean missing")
 	}
 }
@@ -97,7 +95,7 @@ func TestPreconditionFull(t *testing.T) {
 	if err := Precondition(d, 64<<10); err != nil {
 		t.Fatal(err)
 	}
-	_, _, written := d.Counters()
+	written := d.Metrics().BytesWritten
 	if written != d.LogicalBytes() {
 		t.Fatalf("precondition wrote %d of %d", written, d.LogicalBytes())
 	}

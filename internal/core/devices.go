@@ -32,6 +32,10 @@ func (r *RAID) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	return r.Raw.Submit(op, cb)
 }
 
+// Free implements Device: the array has no TRIM; the request completes as
+// a metadata no-op.
+func (r *RAID) Free(off, size int64) error { return r.Raw.Submit(freeOp(off, size), nil) }
+
 // Play implements Device.
 func (r *RAID) Play(ops []trace.Op) error { return r.Raw.Play(ops) }
 
@@ -46,16 +50,16 @@ func (r *RAID) Engine() *sim.Engine { return r.Raw.Engine() }
 // LogicalBytes implements Device.
 func (r *RAID) LogicalBytes() int64 { return r.Raw.LogicalBytes() }
 
-// Counters implements Device.
-func (r *RAID) Counters() (int64, int64, int64) {
+// Metrics implements Device.
+func (r *RAID) Metrics() Snapshot {
 	m := r.Raw.Metrics()
-	return m.Completed, m.BytesRead, m.BytesWritten
-}
-
-// MeanResponseMs implements Device.
-func (r *RAID) MeanResponseMs() (float64, float64) {
-	m := r.Raw.Metrics()
-	return m.ReadResp.Mean(), m.WriteResp.Mean()
+	return Snapshot{
+		Completed:    m.Completed,
+		BytesRead:    m.BytesRead,
+		BytesWritten: m.BytesWritten,
+		MeanReadMs:   m.ReadResp.Mean(),
+		MeanWriteMs:  m.WriteResp.Mean(),
+	}
 }
 
 // MEMS wraps the MEMS-storage model as a core.Device (Table 1's MEMS
@@ -82,6 +86,10 @@ func (m *MEMS) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	return m.Raw.Submit(op, cb)
 }
 
+// Free implements Device: MEMS media writes in place; the request
+// completes as a metadata no-op.
+func (m *MEMS) Free(off, size int64) error { return m.Raw.Submit(freeOp(off, size), nil) }
+
 // Play implements Device.
 func (m *MEMS) Play(ops []trace.Op) error { return m.Raw.Play(ops) }
 
@@ -96,16 +104,16 @@ func (m *MEMS) Engine() *sim.Engine { return m.Raw.Engine() }
 // LogicalBytes implements Device.
 func (m *MEMS) LogicalBytes() int64 { return m.Raw.LogicalBytes() }
 
-// Counters implements Device.
-func (m *MEMS) Counters() (int64, int64, int64) {
+// Metrics implements Device.
+func (m *MEMS) Metrics() Snapshot {
 	mm := m.Raw.Metrics()
-	return mm.Completed, mm.BytesRead, mm.BytesWritten
-}
-
-// MeanResponseMs implements Device.
-func (m *MEMS) MeanResponseMs() (float64, float64) {
-	mm := m.Raw.Metrics()
-	return mm.ReadResp.Mean(), mm.WriteResp.Mean()
+	return Snapshot{
+		Completed:    mm.Completed,
+		BytesRead:    mm.BytesRead,
+		BytesWritten: mm.BytesWritten,
+		MeanReadMs:   mm.ReadResp.Mean(),
+		MeanWriteMs:  mm.WriteResp.Mean(),
+	}
 }
 
 // DefaultRAID is the Table 1 array: five Barracuda-class spindles,

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"ossd/internal/osd"
+	"ossd/internal/sim"
+	"ossd/internal/ssd"
+	"ossd/internal/trace"
+)
+
+// OSD is the paper's §3.7 proposal as a core.Device: an object store
+// fronting the flash device, with the device's address space exposed
+// through a single pre-reserved volume object. Block reads and writes
+// travel the object path — stripe-aligned extents allocated inside the
+// device — and Free notifications reach the FTL as the §3.5 informed-
+// cleaning signal. The store and device stay reachable via Store and Raw
+// for object-level use (Create/Delete/attributes).
+type OSD struct {
+	Raw   *ssd.Device
+	Store *osd.Store
+	vol   osd.ObjectID
+	bytes int64
+}
+
+// NewOSD builds a flash device on a fresh engine, fronts it with an
+// object store, and reserves one volume object spanning the store's
+// first region (the whole device on homogeneous media, the SLC region on
+// heterogeneous ones).
+func NewOSD(cfg ssd.Config) (*OSD, error) {
+	dev, err := ssd.New(sim.NewEngine(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := osd.New(dev)
+	if err != nil {
+		return nil, err
+	}
+	space := dev.LogicalBytes()
+	if b := dev.RegionBoundary(); b > 0 {
+		space = b
+	}
+	// Create with Priority so heterogeneous stores place the volume in
+	// region 0 (SLC) — the span reserved below — then drop the attribute
+	// so block I/O is not priority-tagged. Placement is fixed at create.
+	vol := st.Create(osd.Attributes{Priority: true})
+	if err := st.SetAttributes(vol, osd.Attributes{}); err != nil {
+		return nil, err
+	}
+	if err := st.Reserve(vol, space); err != nil {
+		return nil, fmt.Errorf("core: reserve %d-byte volume: %w", space, err)
+	}
+	return &OSD{Raw: dev, Store: st, vol: vol, bytes: space}, nil
+}
+
+// Volume returns the backing volume object's ID.
+func (o *OSD) Volume() osd.ObjectID { return o.vol }
+
+// Submit implements Device: reads, writes, and frees all go through the
+// object store's extent mapping, so frees land on exactly the device
+// pages backing the volume bytes (TRIM through the object interface).
+func (o *OSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	if op.End() > o.bytes {
+		return fmt.Errorf("core: osd request [%d, +%d) beyond %d-byte volume", op.Offset, op.Size, o.bytes)
+	}
+	start := o.Raw.Engine().Now()
+	var done func(error)
+	if onDone != nil {
+		done = func(err error) { onDone(o.Raw.Engine().Now()-start, err) }
+	}
+	switch op.Kind {
+	case trace.Read:
+		return o.Store.Read(o.vol, op.Offset, op.Size, done)
+	case trace.Free:
+		return o.Store.FreeRange(o.vol, op.Offset, op.Size, done)
+	default:
+		return o.Store.Write(o.vol, op.Offset, op.Size, done)
+	}
+}
+
+// Free implements Device: the notification travels the object path and
+// the FTL drops the backing pages.
+func (o *OSD) Free(off, size int64) error { return o.Store.FreeRange(o.vol, off, size, nil) }
+
+// Play implements Device.
+func (o *OSD) Play(ops []trace.Op) error { return playOps(o, ops) }
+
+// ClosedLoop implements Device.
+func (o *OSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
+	return closedLoop(o, depth, gen)
+}
+
+// Engine implements Device.
+func (o *OSD) Engine() *sim.Engine { return o.Raw.Engine() }
+
+// LogicalBytes implements Device: the volume's span, not the raw
+// device's (they differ on heterogeneous media).
+func (o *OSD) LogicalBytes() int64 { return o.bytes }
+
+// Metrics implements Device.
+func (o *OSD) Metrics() Snapshot { return ssdSnapshot(o.Raw.Metrics()) }
+
+var _ Device = (*OSD)(nil)
+
+// playOps is trace replay for devices composed from parts that only
+// expose Submit: every op is scheduled at its trace timestamp and the
+// engine runs until the device drains. Mirrors the replay loops the raw
+// models implement natively.
+func playOps(d Device, ops []trace.Op) error {
+	eng := d.Engine()
+	var firstErr error
+	for _, op := range ops {
+		op := op
+		eng.At(op.At, func() {
+			if err := d.Submit(op, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	eng.Run()
+	return firstErr
+}
+
+// closedLoop keeps depth requests outstanding, drawing operations from
+// gen until it returns false; each op's At field is ignored.
+func closedLoop(d Device, depth int, gen func(i int) (trace.Op, bool)) error {
+	if depth <= 0 {
+		depth = 1
+	}
+	eng := d.Engine()
+	var firstErr error
+	i := 0
+	var issue func()
+	issue = func() {
+		op, ok := gen(i)
+		if !ok {
+			return
+		}
+		i++
+		if err := d.Submit(op, func(sim.Time, error) { issue() }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for k := 0; k < depth; k++ {
+		issue()
+	}
+	eng.Run()
+	return firstErr
+}

@@ -5,10 +5,45 @@ import (
 
 	"ossd/internal/flash"
 	"ossd/internal/hdd"
+	"ossd/internal/mems"
+	"ossd/internal/raid"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
 )
+
+// Kind selects which media model a profile instantiates.
+type Kind int
+
+const (
+	// KindSSD is the flash device (the default).
+	KindSSD Kind = iota
+	// KindHDD is the disk model.
+	KindHDD
+	// KindMEMS is the MEMS-storage model.
+	KindMEMS
+	// KindRAID is the RAID-5 array model.
+	KindRAID
+	// KindOSD is the flash device fronted by the object store (§3.7).
+	KindOSD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSSD:
+		return "ssd"
+	case KindHDD:
+		return "hdd"
+	case KindMEMS:
+		return "mems"
+	case KindRAID:
+		return "raid"
+	case KindOSD:
+		return "osd"
+	default:
+		return "?"
+	}
+}
 
 // Profile is a named device configuration plus the measurement settings
 // (request sizes, queue depths) its class of device would be benchmarked
@@ -21,11 +56,14 @@ type Profile struct {
 	Name string
 	// Description summarizes the device class.
 	Description string
-	// IsHDD selects the disk model instead of the SSD model.
-	IsHDD bool
-	// HDD and SSD hold the respective configurations.
-	HDD hdd.Config
-	SSD ssd.Config
+	// Kind selects the media model; the matching config field applies.
+	Kind Kind
+	// HDD, SSD, MEMS, and RAID hold the respective configurations (SSD
+	// also parameterizes KindOSD).
+	HDD  hdd.Config
+	SSD  ssd.Config
+	MEMS mems.Config
+	RAID raid.Config
 	// SeqReqBytes/RandReqBytes are the benchmark request sizes.
 	SeqReqBytes, RandReqBytes int64
 	// Per-test queue depths: real devices are benchmarked at the depth
@@ -36,10 +74,18 @@ type Profile struct {
 
 // NewDevice instantiates the profile's device on a fresh engine.
 func (p *Profile) NewDevice() (Device, error) {
-	if p.IsHDD {
+	switch p.Kind {
+	case KindHDD:
 		return NewHDD(p.HDD)
+	case KindMEMS:
+		return NewMEMS(p.MEMS)
+	case KindRAID:
+		return NewRAID(p.RAID)
+	case KindOSD:
+		return NewOSD(p.SSD)
+	default:
+		return NewSSD(p.SSD)
 	}
-	return NewSSD(p.SSD)
 }
 
 // geometry helper: pageSize 4 KB, 64 pages/block.
@@ -57,7 +103,7 @@ func Profiles() []Profile {
 		{
 			Name:        "HDD",
 			Description: "Seagate Barracuda 7200.11 class disk",
-			IsHDD:       true,
+			Kind:        KindHDD,
 			HDD:         hdd.Barracuda7200(),
 			SeqReqBytes: 1 << 20, RandReqBytes: 4096,
 			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
@@ -154,9 +200,53 @@ func Profiles() []Profile {
 	}
 }
 
-// ProfileByName looks a profile up.
+// ExtendedProfiles returns the Table 2 set plus the other Table 1 device
+// classes (MEMS, RAID) and the object-fronted SSD, so every substrate is
+// reachable by name from the tools. Table 2 itself keeps using
+// Profiles(): the paper characterizes only the disk and the SSDs there.
+func ExtendedProfiles() []Profile {
+	out := Profiles()
+	var s4 ssd.Config
+	for _, p := range out {
+		if p.Name == "S4slc_sim" {
+			s4 = p.SSD
+		}
+	}
+	// The object front exists to carry allocation knowledge to the FTL
+	// (§3.5): its device runs with informed cleaning on.
+	s4.Informed = true
+	out = append(out,
+		Profile{
+			Name:        "MEMS",
+			Description: "MEMS storage (Schlosser & Ganger's G2)",
+			Kind:        KindMEMS,
+			MEMS:        DefaultMEMS(),
+			SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+		},
+		Profile{
+			Name:        "RAID",
+			Description: "RAID-5 array of five Barracuda-class spindles",
+			Kind:        KindRAID,
+			RAID:        DefaultRAID(),
+			SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+		},
+		Profile{
+			Name:        "OSD",
+			Description: "object-fronted S4-class SSD (block ops via the object store)",
+			Kind:        KindOSD,
+			SSD:         s4,
+			SeqReqBytes: 4096, RandReqBytes: 4096,
+			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 2, RandWriteDepth: 2,
+		},
+	)
+	return out
+}
+
+// ProfileByName looks a profile up across the extended set.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range Profiles() {
+	for _, p := range ExtendedProfiles() {
 		if p.Name == name {
 			return p, nil
 		}

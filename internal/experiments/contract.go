@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ossd/internal/core"
+	"ossd/internal/runner"
 	"ossd/internal/sim"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
@@ -230,8 +231,7 @@ func measureClass(c deviceClass, seed int64) (classMeasurements, error) {
 		if err != nil {
 			return 0, err
 		}
-		r, _ := d.MeanResponseMs()
-		return r, nil
+		return d.Metrics().MeanReadMs, nil
 	}
 	span := d.LogicalBytes() - 4096
 	near, err := lat(1 << 20)
@@ -313,17 +313,25 @@ func measureClass(c deviceClass, seed int64) (classMeasurements, error) {
 	return m, err
 }
 
-// Contract runs all probes on all four device classes.
-func Contract(seed int64) (ContractResult, error) {
+// Contract runs all probes on all four device classes, one spec per
+// class (each class's probes build their own fresh devices). workers
+// caps the pool (0 = runner default).
+func Contract(seed int64, workers int) (ContractResult, error) {
 	var res ContractResult
 	classes := contractClasses()
-	ms := make([]classMeasurements, len(classes))
+	specs := make([]runner.Spec[classMeasurements], len(classes))
 	for i, c := range classes {
-		m, err := measureClass(c, seed)
-		if err != nil {
-			return res, fmt.Errorf("%s: %w", c.name, err)
+		c := c
+		specs[i] = runner.Spec[classMeasurements]{
+			Name:    "contract/" + c.name,
+			Profile: c.name,
+			Seed:    seed,
+			Run:     func() (classMeasurements, error) { return measureClass(c, seed) },
 		}
-		ms[i] = m
+	}
+	ms, err := runner.Run(specs, runner.Options{Workers: workers})
+	if err != nil {
+		return res, err
 	}
 	disk, rd, mm, ssd := ms[0], ms[1], ms[2], ms[3]
 

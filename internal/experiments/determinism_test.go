@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The runner must never let worker count leak into results: every spec
+// is an isolated simulation and assembly is ordered by spec. These tests
+// pin that property on real experiments at reduced scale, comparing a
+// serial run against a heavily oversubscribed one.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	t.Run("table2", func(t *testing.T) {
+		t.Parallel()
+		opts := Table2Options{BytesPerTest: 4 << 20, RandBytesPerTest: 1 << 20, Seed: 5}
+		opts.Workers = 1
+		serial, err := Table2(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 16
+		parallel, err := Table2(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("worker count changed the result:\n%+v\n%+v", serial, parallel)
+		}
+	})
+	t.Run("swtf", func(t *testing.T) {
+		t.Parallel()
+		serial, err := SWTF(SWTFOptions{Ops: 4000, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := SWTF(SWTFOptions{Ops: 4000, Seed: 5, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("worker count changed the result:\n%+v\n%+v", serial, parallel)
+		}
+	})
+	t.Run("table5", func(t *testing.T) {
+		t.Parallel()
+		serial, err := Table5(Table5Options{Transactions: []int{2500}, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Table5(Table5Options{Transactions: []int{2500}, Seed: 5, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("worker count changed the result:\n%+v\n%+v", serial, parallel)
+		}
+	})
+}

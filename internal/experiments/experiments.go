@@ -1,8 +1,11 @@
 // Package experiments contains one runner per table and figure in the
-// paper's evaluation. Each runner builds its devices and workloads from
-// the other internal packages, executes the simulation, and returns a
-// typed result that renders the same rows or series the paper reports.
-// cmd/repro drives all of them; the root-level benchmarks wrap each one.
+// paper's evaluation. Each experiment decomposes into independent
+// simulations — one device, one workload, one seed — emitted as
+// runner.Specs and executed on a worker pool (internal/runner), then
+// assembled into a typed result that renders the same rows or series the
+// paper reports. Results are deterministic for a fixed seed regardless
+// of worker count. cmd/repro drives all of them; the root-level
+// benchmarks wrap each one.
 package experiments
 
 import (

@@ -227,7 +227,7 @@ func TestContractVerdicts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite skipped in -short mode")
 	}
-	r, err := Contract(1)
+	r, err := Contract(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestPreconditionMapsRegion(t *testing.T) {
 		t.Fatal(err)
 	}
 	sd := d.(*core.SSD)
-	_, _, written := d.Counters()
+	written := d.Metrics().BytesWritten
 	if written < d.LogicalBytes()/2-(1<<20) {
 		t.Fatalf("precondition wrote %d of %d", written, d.LogicalBytes()/2)
 	}
@@ -334,7 +334,7 @@ func TestSchemesOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite skipped in -short mode")
 	}
-	r, err := Schemes(1)
+	r, err := Schemes(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestLifetimeOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite skipped in -short mode")
 	}
-	r, err := Lifetime(1)
+	r, err := Lifetime(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"ossd/internal/core"
+	"ossd/internal/runner"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
 )
@@ -39,6 +42,8 @@ type Figure2Options struct {
 	StepBytes int64
 	// BytesPerPoint bounds each measurement (default 24 MB).
 	BytesPerPoint int64
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *Figure2Options) defaults() {
@@ -53,8 +58,10 @@ func (o *Figure2Options) defaults() {
 	}
 }
 
-// Figure2 runs the sweep on a single preconditioned S2slc device,
-// measuring sustained sequential-write bandwidth at each request size.
+// Figure2 runs the sweep, measuring sustained sequential-write bandwidth
+// at each request size. Every point is one spec on its own fresh,
+// preconditioned S2slc device, so all points start from the identical
+// fully-mapped steady state and sweep order cannot leak between them.
 func Figure2(opts Figure2Options) (Figure2Result, error) {
 	opts.defaults()
 	var res Figure2Result
@@ -64,22 +71,36 @@ func Figure2(opts Figure2Options) (Figure2Result, error) {
 		return res, err
 	}
 	stripe := p.SSD.StripeBytes
-	d, err := preconditioned(p)
+	var sizes []int64
+	var specs []runner.Spec[float64]
+	for size := opts.StepBytes; size <= opts.MaxBytes; size += opts.StepBytes {
+		size := size
+		sizes = append(sizes, size)
+		specs = append(specs, runner.Spec[float64]{
+			Name:    fmt.Sprintf("figure2/%dKiB", size>>10),
+			Profile: p.Name,
+			Run: func() (float64, error) {
+				d, err := preconditioned(p)
+				if err != nil {
+					return 0, err
+				}
+				return core.MeasureBandwidth(d, core.BWOptions{
+					Kind:       trace.Write,
+					Pattern:    core.Sequential,
+					ReqBytes:   size,
+					TotalBytes: opts.BytesPerPoint,
+					Depth:      1,
+				})
+			},
+		})
+	}
+	bws, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
 	if err != nil {
 		return res, err
 	}
 	var peaks, troughs []float64
-	for size := opts.StepBytes; size <= opts.MaxBytes; size += opts.StepBytes {
-		bw, err := core.MeasureBandwidth(d, core.BWOptions{
-			Kind:       trace.Write,
-			Pattern:    core.Sequential,
-			ReqBytes:   size,
-			TotalBytes: opts.BytesPerPoint,
-			Depth:      1,
-		})
-		if err != nil {
-			return res, err
-		}
+	for i, size := range sizes {
+		bw := bws[i]
 		res.Series.Add(float64(size)/1e6, bw)
 		if size >= stripe {
 			if size%stripe == 0 {

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"ossd/internal/core"
 	"ossd/internal/flash"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -50,6 +53,8 @@ type Figure3Options struct {
 	WritePcts []int
 	// Seed drives the workloads.
 	Seed int64
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *Figure3Options) defaults() {
@@ -79,65 +84,81 @@ func figure3Device(aware bool) (*core.SSD, error) {
 	})
 }
 
-// Figure3 runs both cleaning policies at each write percentage. Requests
-// arrive with inter-arrival times uniform in [0, 0.1 ms] and 10% are
-// priority, per the paper.
+// figure3Point is one (write percentage, policy) simulation's output.
+type figure3Point struct {
+	fg, bg float64
+}
+
+// Figure3 runs both cleaning policies at each write percentage, one spec
+// per (write percentage, policy) pair. Requests arrive with
+// inter-arrival times uniform in [0, 0.1 ms] and 10% are priority, per
+// the paper.
 func Figure3(opts Figure3Options) (Figure3Result, error) {
 	opts.defaults()
 	var res Figure3Result
+	run := func(wp int, aware bool) (figure3Point, error) {
+		var pt figure3Point
+		d, err := figure3Device(aware)
+		if err != nil {
+			return pt, err
+		}
+		// Two sequential passes over 75% of a 16-element device: the
+		// first maps the region, the second drains the free pool to
+		// the 5% watermark, so the measurement starts in the steady
+		// state where cleaning interferes with foreground traffic
+		// (the regime Figure 3 studies) while staying stable.
+		for pass := 0; pass < 2; pass++ {
+			if err := core.PreconditionFrac(d, 1<<20, 0.75); err != nil {
+				return pt, err
+			}
+		}
+		ops, err := workload.Synthetic(workload.SyntheticConfig{
+			Ops:            opts.Ops,
+			AddressSpace:   int64(float64(d.LogicalBytes()) * 0.75),
+			ReadFrac:       1 - float64(wp)/100,
+			ReqSize:        4096,
+			InterarrivalLo: 0,
+			InterarrivalHi: 100 * sim.Microsecond,
+			PriorityFrac:   opts.PriorityFrac,
+			Seed:           opts.Seed + int64(wp),
+		})
+		if err != nil {
+			return pt, err
+		}
+		base := d.Engine().Now()
+		for i := range ops {
+			ops[i].At += base
+		}
+		if err := d.Play(ops); err != nil {
+			return pt, err
+		}
+		m := d.Raw.Metrics()
+		return figure3Point{fg: m.PriResp.Mean(), bg: bgMeanExcludingPrecondition(m, base)}, nil
+	}
+	var specs []runner.Spec[figure3Point]
 	for _, wp := range opts.WritePcts {
-		run := func(aware bool) (fg, bg float64, err error) {
-			d, err := figure3Device(aware)
-			if err != nil {
-				return 0, 0, err
-			}
-			// Two sequential passes over 75% of a 16-element device: the
-			// first maps the region, the second drains the free pool to
-			// the 5% watermark, so the measurement starts in the steady
-			// state where cleaning interferes with foreground traffic
-			// (the regime Figure 3 studies) while staying stable.
-			for pass := 0; pass < 2; pass++ {
-				if err := core.PreconditionFrac(d, 1<<20, 0.75); err != nil {
-					return 0, 0, err
-				}
-			}
-			ops, err := workload.Synthetic(workload.SyntheticConfig{
-				Ops:            opts.Ops,
-				AddressSpace:   int64(float64(d.LogicalBytes()) * 0.75),
-				ReadFrac:       1 - float64(wp)/100,
-				ReqSize:        4096,
-				InterarrivalLo: 0,
-				InterarrivalHi: 100 * sim.Microsecond,
-				PriorityFrac:   opts.PriorityFrac,
-				Seed:           opts.Seed + int64(wp),
+		wp := wp
+		for _, aware := range []bool{false, true} {
+			aware := aware
+			specs = append(specs, runner.Spec[figure3Point]{
+				Name: fmt.Sprintf("figure3/w%d/aware=%v", wp, aware),
+				Seed: opts.Seed,
+				Run:  func() (figure3Point, error) { return run(wp, aware) },
 			})
-			if err != nil {
-				return 0, 0, err
-			}
-			base := d.Engine().Now()
-			for i := range ops {
-				ops[i].At += base
-			}
-			if err := d.Play(ops); err != nil {
-				return 0, 0, err
-			}
-			m := d.Raw.Metrics()
-			return m.PriResp.Mean(), bgMeanExcludingPrecondition(m, base), nil
 		}
-		fa, ba, err := run(false)
-		if err != nil {
-			return res, err
-		}
-		fw, bw, err := run(true)
-		if err != nil {
-			return res, err
-		}
+	}
+	pts, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
+	if err != nil {
+		return res, err
+	}
+	for i, wp := range opts.WritePcts {
+		agn, aw := pts[i*2], pts[i*2+1]
 		res.WritePcts = append(res.WritePcts, wp)
-		res.FgAgnostic = append(res.FgAgnostic, fa)
-		res.BgAgnostic = append(res.BgAgnostic, ba)
-		res.FgAware = append(res.FgAware, fw)
-		res.BgAware = append(res.BgAware, bw)
-		res.ImprovementPct = append(res.ImprovementPct, stats.Improvement(fa, fw))
+		res.FgAgnostic = append(res.FgAgnostic, agn.fg)
+		res.BgAgnostic = append(res.BgAgnostic, agn.bg)
+		res.FgAware = append(res.FgAware, aw.fg)
+		res.BgAware = append(res.BgAware, aw.bg)
+		res.ImprovementPct = append(res.ImprovementPct, stats.Improvement(agn.fg, aw.fg))
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"ossd/internal/core"
 	"ossd/internal/flash"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -113,8 +114,15 @@ func writeUntilWearOut(d *core.SSD, seed int64) (float64, int, error) {
 	return float64(hostBytes) / 1e6, max - min, nil
 }
 
-// Lifetime runs the endurance comparison.
-func Lifetime(seed int64) (LifetimeResult, error) {
+// lifetimePoint is one configuration's run-to-wear-out outcome.
+type lifetimePoint struct {
+	mb     float64
+	spread int
+}
+
+// Lifetime runs the endurance comparison, one spec per configuration.
+// workers caps the pool (0 = runner default).
+func Lifetime(seed int64, workers int) (LifetimeResult, error) {
 	var res LifetimeResult
 	const budget = 64
 	cases := []struct {
@@ -127,18 +135,30 @@ func Lifetime(seed int64) (LifetimeResult, error) {
 		{"SLC wear-leveled", true, false, budget},
 		{"MLC wear-leveled (1/10 budget)", true, true, budget / 10},
 	}
-	for _, c := range cases {
-		d, err := lifetimeDevice(c.budget, c.wearAware, c.mlc)
-		if err != nil {
-			return res, err
+	specs := make([]runner.Spec[lifetimePoint], len(cases))
+	for i, c := range cases {
+		c := c
+		specs[i] = runner.Spec[lifetimePoint]{
+			Name: "lifetime/" + c.name,
+			Seed: seed,
+			Run: func() (lifetimePoint, error) {
+				d, err := lifetimeDevice(c.budget, c.wearAware, c.mlc)
+				if err != nil {
+					return lifetimePoint{}, err
+				}
+				mb, spread, err := writeUntilWearOut(d, seed)
+				return lifetimePoint{mb: mb, spread: spread}, err
+			},
 		}
-		mb, spread, err := writeUntilWearOut(d, seed)
-		if err != nil {
-			return res, err
-		}
+	}
+	pts, err := runner.Run(specs, runner.Options{Workers: workers})
+	if err != nil {
+		return res, err
+	}
+	for i, c := range cases {
 		res.Configs = append(res.Configs, c.name)
-		res.HostMB = append(res.HostMB, mb)
-		res.WearSpread = append(res.WearSpread, spread)
+		res.HostMB = append(res.HostMB, pts[i].mb)
+		res.WearSpread = append(res.WearSpread, pts[i].spread)
 	}
 	return res, nil
 }

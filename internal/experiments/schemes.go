@@ -4,6 +4,7 @@ import (
 	"ossd/internal/core"
 	"ossd/internal/flash"
 	"ossd/internal/ftl"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -39,10 +40,17 @@ func (r SchemesResult) String() string {
 	return t.String()
 }
 
-// Schemes runs the comparison on identical geometry.
-func Schemes(seed int64) (SchemesResult, error) {
+// schemesPoint is one mapping scheme's measurements.
+type schemesPoint struct {
+	seq, rnd, amp float64
+}
+
+// Schemes runs the comparison on identical geometry, one spec per
+// scheme. workers caps the pool (0 = runner default).
+func Schemes(seed int64, workers int) (SchemesResult, error) {
 	var res SchemesResult
-	for _, s := range []ftl.Scheme{ftl.PageMapped, ftl.HybridLog, ftl.BlockMapped} {
+	measure := func(s ftl.Scheme) (schemesPoint, error) {
+		var pt schemesPoint
 		d, err := core.NewSSD(ssd.Config{
 			Elements:      8,
 			Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
@@ -53,35 +61,53 @@ func Schemes(seed int64) (SchemesResult, error) {
 			Scheme:        s,
 		})
 		if err != nil {
-			return res, err
+			return pt, err
 		}
 		if err := core.PreconditionFrac(d, 1<<20, 0.7); err != nil {
-			return res, err
+			return pt, err
 		}
-		seq, err := core.MeasureBandwidth(d, core.BWOptions{
+		pt.seq, err = core.MeasureBandwidth(d, core.BWOptions{
 			Kind: trace.Write, Pattern: core.Sequential,
 			ReqBytes: 256 << 10, TotalBytes: 16 << 20, Depth: 1, Seed: seed,
 		})
 		if err != nil {
-			return res, err
+			return pt, err
 		}
 		gBefore := d.Raw.GCStats()
 		mBefore := d.Raw.Metrics()
-		rnd, err := core.MeasureBandwidth(d, core.BWOptions{
+		pt.rnd, err = core.MeasureBandwidth(d, core.BWOptions{
 			Kind: trace.Write, Pattern: core.Random,
 			ReqBytes: 4096, TotalBytes: 2 << 20, Depth: 4, Seed: seed,
 		})
 		if err != nil {
-			return res, err
+			return pt, err
 		}
 		gAfter := d.Raw.GCStats()
 		mAfter := d.Raw.Metrics()
 		media := float64(gAfter.HostPageWrites + gAfter.PagesMoved - gBefore.HostPageWrites - gBefore.PagesMoved)
 		host := float64(mAfter.BytesWritten-mBefore.BytesWritten) / 4096
+		pt.amp = media / host
+		return pt, nil
+	}
+	schemes := []ftl.Scheme{ftl.PageMapped, ftl.HybridLog, ftl.BlockMapped}
+	specs := make([]runner.Spec[schemesPoint], len(schemes))
+	for i, s := range schemes {
+		s := s
+		specs[i] = runner.Spec[schemesPoint]{
+			Name: "schemes/" + s.String(),
+			Seed: seed,
+			Run:  func() (schemesPoint, error) { return measure(s) },
+		}
+	}
+	pts, err := runner.Run(specs, runner.Options{Workers: workers})
+	if err != nil {
+		return res, err
+	}
+	for i, s := range schemes {
 		res.Schemes = append(res.Schemes, s.String())
-		res.SeqWrite = append(res.SeqWrite, seq)
-		res.RandWrite = append(res.RandWrite, rnd)
-		res.WriteAmp = append(res.WriteAmp, media/host)
+		res.SeqWrite = append(res.SeqWrite, pts[i].seq)
+		res.RandWrite = append(res.RandWrite, pts[i].rnd)
+		res.WriteAmp = append(res.WriteAmp, pts[i].amp)
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"ossd/internal/core"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/stats"
@@ -39,6 +40,8 @@ type SWTFOptions struct {
 	MeanInterarrival sim.Time
 	// Seed drives the workload.
 	Seed int64
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *SWTFOptions) defaults() {
@@ -105,13 +108,17 @@ func SWTF(opts SWTFOptions) (SWTFResult, error) {
 		total := float64(m.ReadResp.N())*m.ReadResp.Mean() + float64(m.WriteResp.N())*m.WriteResp.Mean()
 		return total / float64(m.ReadResp.N()+m.WriteResp.N()), nil
 	}
-	var err error
-	if res.FCFSMeanMs, err = run(sched.FCFS); err != nil {
+	specs := []runner.Spec[float64]{
+		{Name: "swtf/fcfs", Profile: "S4slc_sim", Seed: opts.Seed,
+			Run: func() (float64, error) { return run(sched.FCFS) }},
+		{Name: "swtf/swtf", Profile: "S4slc_sim", Seed: opts.Seed,
+			Run: func() (float64, error) { return run(sched.SWTF) }},
+	}
+	means, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
+	if err != nil {
 		return res, err
 	}
-	if res.SWTFMeanMs, err = run(sched.SWTF); err != nil {
-		return res, err
-	}
+	res.FCFSMeanMs, res.SWTFMeanMs = means[0], means[1]
 	res.ImprovementPct = stats.Improvement(res.FCFSMeanMs, res.SWTFMeanMs)
 	return res, nil
 }

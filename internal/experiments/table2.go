@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"ossd/internal/core"
+	"ossd/internal/runner"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
 )
@@ -54,6 +55,8 @@ type Table2Options struct {
 	Seed int64
 	// Profiles overrides the device set (default core.Profiles()).
 	Profiles []core.Profile
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *Table2Options) defaults() {
@@ -69,47 +72,66 @@ func (o *Table2Options) defaults() {
 }
 
 // Table2 runs the four measurements per profile, each on a fresh,
-// preconditioned device.
+// preconditioned device. Every (profile, test) cell is one spec, so the
+// whole table fans out across the worker pool.
 func Table2(opts Table2Options) (Table2Result, error) {
 	opts.defaults()
 	var res Table2Result
+	type test struct {
+		label   string
+		kind    trace.Kind
+		pattern core.Pattern
+		req     int64
+		depth   int
+		total   int64
+	}
+	var specs []runner.Spec[float64]
 	for _, p := range opts.Profiles {
-		row := Table2Row{Device: p.Name}
-		type test struct {
-			kind    trace.Kind
-			pattern core.Pattern
-			req     int64
-			depth   int
-			total   int64
-			out     *float64
-		}
+		p := p
 		tests := []test{
-			{trace.Read, core.Sequential, p.SeqReqBytes, p.SeqReadDepth, opts.BytesPerTest, &row.SeqRead},
-			{trace.Read, core.Random, p.RandReqBytes, p.RandReadDepth, opts.RandBytesPerTest, &row.RandRead},
-			{trace.Write, core.Sequential, p.SeqReqBytes, p.SeqWriteDepth, opts.BytesPerTest, &row.SeqWrite},
-			{trace.Write, core.Random, p.RandReqBytes, p.RandWriteDepth, opts.RandBytesPerTest, &row.RandWrite},
+			{"seqread", trace.Read, core.Sequential, p.SeqReqBytes, p.SeqReadDepth, opts.BytesPerTest},
+			{"randread", trace.Read, core.Random, p.RandReqBytes, p.RandReadDepth, opts.RandBytesPerTest},
+			{"seqwrite", trace.Write, core.Sequential, p.SeqReqBytes, p.SeqWriteDepth, opts.BytesPerTest},
+			{"randwrite", trace.Write, core.Random, p.RandReqBytes, p.RandWriteDepth, opts.RandBytesPerTest},
 		}
 		for _, tc := range tests {
-			d, err := preconditioned(p)
-			if err != nil {
-				return res, err
-			}
-			total := tc.total
-			if total < tc.req {
-				total = tc.req
-			}
-			bw, err := core.MeasureBandwidth(d, core.BWOptions{
-				Kind:       tc.kind,
-				Pattern:    tc.pattern,
-				ReqBytes:   tc.req,
-				TotalBytes: total,
-				Depth:      tc.depth,
-				Seed:       opts.Seed + 1,
+			tc := tc
+			specs = append(specs, runner.Spec[float64]{
+				Name:    p.Name + "/" + tc.label,
+				Profile: p.Name,
+				Seed:    opts.Seed,
+				Run: func() (float64, error) {
+					d, err := preconditioned(p)
+					if err != nil {
+						return 0, err
+					}
+					total := tc.total
+					if total < tc.req {
+						total = tc.req
+					}
+					return core.MeasureBandwidth(d, core.BWOptions{
+						Kind:       tc.kind,
+						Pattern:    tc.pattern,
+						ReqBytes:   tc.req,
+						TotalBytes: total,
+						Depth:      tc.depth,
+						Seed:       opts.Seed + 1,
+					})
+				},
 			})
-			if err != nil {
-				return res, err
-			}
-			*tc.out = bw
+		}
+	}
+	bws, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
+	if err != nil {
+		return res, err
+	}
+	for i, p := range opts.Profiles {
+		row := Table2Row{
+			Device:    p.Name,
+			SeqRead:   bws[i*4],
+			RandRead:  bws[i*4+1],
+			SeqWrite:  bws[i*4+2],
+			RandWrite: bws[i*4+3],
 		}
 		row.ReadRatio = stats.Ratio(row.SeqRead, row.RandRead)
 		row.WriteRatio = stats.Ratio(row.SeqWrite, row.RandWrite)

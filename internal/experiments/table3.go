@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"ossd/internal/core"
 	"ossd/internal/flash"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -28,7 +31,7 @@ func (r Table3Result) String() string {
 	t := stats.NewTable("Table 3: Improved Response Time with Write Alignment (ms)",
 		"Scheme", "p=0", "p=0.2", "p=0.4", "p=0.6", "p=0.8")
 	row := func(name string, xs []float64) {
-		cells := []interface{}{name}
+		cells := []any{name}
 		for _, x := range xs {
 			cells = append(cells, x)
 		}
@@ -66,6 +69,8 @@ type Table3Options struct {
 	MeanInterarrival sim.Time
 	// Seed drives the workloads.
 	Seed int64
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *Table3Options) defaults() {
@@ -77,18 +82,54 @@ func (o *Table3Options) defaults() {
 	}
 }
 
-// Table3 runs both schemes at each sequentiality.
+// table3Run replays one write stream on a fresh 60%-preconditioned
+// device and returns the mean write response over the replayed window
+// only (moderate utilization, so cleaning cost reflects a working
+// device, not a pathological full one).
+func table3Run(stream []trace.Op) (float64, error) {
+	d, err := table3Device()
+	if err != nil {
+		return 0, err
+	}
+	if err := core.PreconditionFrac(d, 1<<20, 0.6); err != nil {
+		return 0, err
+	}
+	base := d.Engine().Now()
+	shifted := make([]trace.Op, len(stream))
+	copy(shifted, stream)
+	for i := range shifted {
+		shifted[i].At += base
+	}
+	// Measure only the trace's writes: snapshot before.
+	before := d.Raw.Metrics().WriteResp
+	if err := d.Play(shifted); err != nil {
+		return 0, err
+	}
+	after := d.Raw.Metrics().WriteResp
+	// Means over the delta window.
+	n := after.N() - before.N()
+	if n == 0 {
+		return 0, nil
+	}
+	total := after.Mean()*float64(after.N()) - before.Mean()*float64(before.N())
+	return total / float64(n), nil
+}
+
+// Table3 runs both schemes at each sequentiality: workload generation is
+// cheap and stays inline; the ten replays fan out as specs.
 func Table3(opts Table3Options) (Table3Result, error) {
 	opts.defaults()
 	res := Table3Result{SeqProbs: []float64{0, 0.2, 0.4, 0.6, 0.8}}
+	probe, err := table3Device()
+	if err != nil {
+		return res, err
+	}
+	space := int64(float64(probe.LogicalBytes()) * 0.6)
+	var specs []runner.Spec[float64]
 	for _, p := range res.SeqProbs {
-		probe, err := table3Device()
-		if err != nil {
-			return res, err
-		}
 		ops, err := workload.Synthetic(workload.SyntheticConfig{
 			Ops:            opts.Ops,
-			AddressSpace:   int64(float64(probe.LogicalBytes()) * 0.6),
+			AddressSpace:   space,
 			ReadFrac:       0,
 			SeqProb:        p,
 			ReqSize:        4096,
@@ -103,46 +144,26 @@ func Table3(opts Table3Options) (Table3Result, error) {
 		if err != nil {
 			return res, err
 		}
-		run := func(stream []trace.Op) (float64, error) {
-			d, err := table3Device()
-			if err != nil {
-				return 0, err
-			}
-			// 60% fill: moderate device utilization so cleaning cost
-			// reflects a working device, not a pathological full one.
-			if err := core.PreconditionFrac(d, 1<<20, 0.6); err != nil {
-				return 0, err
-			}
-			base := d.Engine().Now()
-			shifted := make([]trace.Op, len(stream))
-			copy(shifted, stream)
-			for i := range shifted {
-				shifted[i].At += base
-			}
-			// Measure only the trace's writes: snapshot before.
-			before := d.Raw.Metrics().WriteResp
-			if err := d.Play(shifted); err != nil {
-				return 0, err
-			}
-			after := d.Raw.Metrics().WriteResp
-			// Means over the delta window.
-			n := after.N() - before.N()
-			if n == 0 {
-				return 0, nil
-			}
-			total := after.Mean()*float64(after.N()) - before.Mean()*float64(before.N())
-			return total / float64(n), nil
+		for _, v := range []struct {
+			label  string
+			stream []trace.Op
+		}{{"unaligned", ops}, {"aligned", aligned}} {
+			v := v
+			specs = append(specs, runner.Spec[float64]{
+				Name:     fmt.Sprintf("table3/p%.1f/%s", p, v.label),
+				Workload: v.label,
+				Seed:     opts.Seed,
+				Run:      func() (float64, error) { return table3Run(v.stream) },
+			})
 		}
-		u, err := run(ops)
-		if err != nil {
-			return res, err
-		}
-		a, err := run(aligned)
-		if err != nil {
-			return res, err
-		}
-		res.Unaligned = append(res.Unaligned, u)
-		res.Aligned = append(res.Aligned, a)
+	}
+	means, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
+	if err != nil {
+		return res, err
+	}
+	for i := range res.SeqProbs {
+		res.Unaligned = append(res.Unaligned, means[i*2])
+		res.Aligned = append(res.Aligned, means[i*2+1])
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ossd/internal/core"
+	"ossd/internal/runner"
 	"ossd/internal/sim"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
@@ -38,6 +39,8 @@ type Table4Options struct {
 	Scale float64
 	// Seed drives the workloads.
 	Seed int64
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *Table4Options) defaults() {
@@ -98,6 +101,18 @@ func Table4(opts Table4Options) (Table4Result, error) {
 			})
 		}},
 	}
+	mk := func() (core.Device, error) {
+		d, err := table3Device()
+		if err != nil {
+			return nil, err
+		}
+		// 60% fill, like Table 3: a working device, not a full one.
+		if err := core.PreconditionFrac(d, 1<<20, 0.6); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	var specs []runner.Spec[float64]
 	for _, g := range gens {
 		ops, err := g.gen()
 		if err != nil {
@@ -113,25 +128,27 @@ func Table4(opts Table4Options) (Table4Result, error) {
 		if err != nil {
 			return res, err
 		}
-		mk := func() (core.Device, error) {
-			d, err := table3Device()
-			if err != nil {
-				return nil, err
-			}
-			// 60% fill, like Table 3: a working device, not a full one.
-			if err := core.PreconditionFrac(d, 1<<20, 0.6); err != nil {
-				return nil, err
-			}
-			return d, nil
+		// The two replays read the same trace slices concurrently; each
+		// spec copies before shifting timestamps.
+		for _, v := range []struct {
+			label  string
+			stream []trace.Op
+		}{{"unaligned", ops}, {"aligned", aligned}} {
+			v := v
+			specs = append(specs, runner.Spec[float64]{
+				Name:     g.name + "/" + v.label,
+				Workload: g.name,
+				Seed:     opts.Seed,
+				Run:      func() (float64, error) { return playMeanWriteShifted(mk, v.stream) },
+			})
 		}
-		u, err := playMeanWriteShifted(mk, ops)
-		if err != nil {
-			return res, fmt.Errorf("%s unaligned: %w", g.name, err)
-		}
-		a, err := playMeanWriteShifted(mk, aligned)
-		if err != nil {
-			return res, fmt.Errorf("%s aligned: %w", g.name, err)
-		}
+	}
+	means, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
+	if err != nil {
+		return res, err
+	}
+	for i, g := range gens {
+		u, a := means[i*2], means[i*2+1]
 		res.Workloads = append(res.Workloads, g.name)
 		res.UnalignedMs = append(res.UnalignedMs, u)
 		res.AlignedMs = append(res.AlignedMs, a)
@@ -172,6 +189,5 @@ func playMeanWriteShifted(mk func() (core.Device, error), ops []trace.Op) (float
 		}
 		return (w.Mean()*float64(w.N()) - beforeTotal) / float64(n), nil
 	}
-	_, wr := d.MeanResponseMs()
-	return wr, nil
+	return d.Metrics().MeanWriteMs, nil
 }

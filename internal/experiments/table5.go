@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"ossd/internal/core"
 	"ossd/internal/flash"
+	"ossd/internal/runner"
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -45,6 +48,8 @@ type Table5Options struct {
 	Transactions []int
 	// Seed drives the workloads.
 	Seed int64
+	// Workers caps the worker pool (0 = runner default).
+	Workers int
 }
 
 func (o *Table5Options) defaults() {
@@ -78,6 +83,7 @@ func Table5(opts Table5Options) (Table5Result, error) {
 		return res, err
 	}
 	space := probe.LogicalBytes()
+	var specs []runner.Spec[ssd.GCStats]
 	for _, tx := range opts.Transactions {
 		// Pre-fill the file system to ~70% so churn happens against a
 		// mostly-full device, the regime where cleaning matters; the
@@ -94,24 +100,31 @@ func Table5(opts Table5Options) (Table5Result, error) {
 		if err != nil {
 			return res, err
 		}
-		run := func(informed bool) (ssd.GCStats, error) {
-			d, err := table5Device(informed)
-			if err != nil {
-				return ssd.GCStats{}, err
-			}
-			if err := d.Play(ops); err != nil {
-				return ssd.GCStats{}, err
-			}
-			return d.Raw.GCStats(), nil
+		for _, informed := range []bool{false, true} {
+			informed := informed
+			specs = append(specs, runner.Spec[ssd.GCStats]{
+				Name:     fmt.Sprintf("table5/tx%d/informed=%v", tx, informed),
+				Workload: "postmark",
+				Seed:     opts.Seed,
+				Run: func() (ssd.GCStats, error) {
+					d, err := table5Device(informed)
+					if err != nil {
+						return ssd.GCStats{}, err
+					}
+					if err := d.Play(ops); err != nil {
+						return ssd.GCStats{}, err
+					}
+					return d.Raw.GCStats(), nil
+				},
+			})
 		}
-		def, err := run(false)
-		if err != nil {
-			return res, err
-		}
-		inf, err := run(true)
-		if err != nil {
-			return res, err
-		}
+	}
+	gcs, err := runner.Run(specs, runner.Options{Workers: opts.Workers})
+	if err != nil {
+		return res, err
+	}
+	for i, tx := range opts.Transactions {
+		def, inf := gcs[i*2], gcs[i*2+1]
 		res.Transactions = append(res.Transactions, tx)
 		res.DefaultPagesMoved = append(res.DefaultPagesMoved, def.PagesMoved)
 		res.DefaultCleanSec = append(res.DefaultCleanSec, def.CleanTime.Seconds())

@@ -318,6 +318,31 @@ func (s *Store) submitRanges(kind trace.Kind, ranges [][2]int64, pri bool, done 
 	}
 }
 
+// Reserve grows an object's allocation and logical size to cover
+// [0, size) bytes without issuing device I/O — the OSD analogue of
+// truncate/fallocate. A block-compatible volume front uses it to claim
+// the device's whole address space up front so reads of not-yet-written
+// offsets stay in range.
+func (s *Store) Reserve(id ObjectID, size int64) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if o.attrs.ReadOnly {
+		return ErrReadOnly
+	}
+	if size < 0 {
+		return fmt.Errorf("%w: reserve %d bytes", ErrBadRange, size)
+	}
+	if err := s.ensure(o, size); err != nil {
+		return err
+	}
+	if size > o.size {
+		o.size = size
+	}
+	return nil
+}
+
 // Write stores size bytes at object offset off, growing the object as
 // needed. done (optional) fires when the device completes all parts; run
 // the device's engine to make progress.
@@ -362,6 +387,28 @@ func (s *Store) Read(id ObjectID, off, size int64, done func(error)) error {
 	}
 	s.stats.BytesRead += size
 	s.submitRanges(trace.Read, ranges, o.attrs.Priority, done)
+	return nil
+}
+
+// FreeRange tells the device a byte range of the object no longer holds
+// live data, without deallocating the extents — TRIM within an object.
+// The range is translated through the object's extent map, so the
+// notifications land on exactly the device pages backing those bytes.
+// done (optional) fires when the device completes all parts.
+func (s *Store) FreeRange(id ObjectID, off, size int64, done func(error)) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if off < 0 || size <= 0 || off+size > o.size {
+		return fmt.Errorf("%w: free [%d, +%d) of %d-byte object", ErrBadRange, off, size, o.size)
+	}
+	ranges, err := o.ranges(s.regions[o.region].base, s.unit, off, size)
+	if err != nil {
+		return err
+	}
+	s.stats.FreedBytes += size
+	s.submitRanges(trace.Free, ranges, o.attrs.Priority, done)
 	return nil
 }
 

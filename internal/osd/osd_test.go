@@ -436,3 +436,78 @@ func TestStat(t *testing.T) {
 		t.Fatalf("missing object stat: %v", err)
 	}
 }
+
+func TestReserveAllocatesWithoutIO(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, true)
+	id := st.Create(Attributes{})
+	if err := st.Reserve(id, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("reserve scheduled %d device events", eng.Pending())
+	}
+	if sz, _ := st.Size(id); sz != 64<<10 {
+		t.Fatalf("size = %d, want %d", sz, 64<<10)
+	}
+	info, err := st.Stat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AllocatedBytes < 64<<10 {
+		t.Fatalf("allocated %d, want >= %d", info.AllocatedBytes, 64<<10)
+	}
+	// Reserved ranges are immediately readable, and a smaller reserve
+	// never shrinks the object.
+	if err := st.Read(id, 0, 64<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := st.Reserve(id, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := st.Size(id); sz != 64<<10 {
+		t.Fatalf("shrunk to %d", sz)
+	}
+	// Validation: negative sizes, read-only and missing objects fail.
+	if err := st.Reserve(id, -1); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("negative reserve: %v", err)
+	}
+	if err := st.SetAttributes(id, Attributes{ReadOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reserve(id, 128<<10); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only reserve: %v", err)
+	}
+	if err := st.Reserve(ObjectID(9999), 4096); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object reserve: %v", err)
+	}
+}
+
+func TestFreeRangeTrimsThroughExtents(t *testing.T) {
+	eng, st := newStore(t, ssd.Interleaved, true)
+	id := st.Create(Attributes{})
+	if err := st.Write(id, 0, 32<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	before := st.Device().Metrics().Frees
+	var freeErr error
+	fired := false
+	if err := st.FreeRange(id, 4096, 8192, func(err error) { fired, freeErr = true, err }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !fired || freeErr != nil {
+		t.Fatalf("free completion: fired=%v err=%v", fired, freeErr)
+	}
+	if got := st.Device().Metrics().Frees - before; got == 0 {
+		t.Fatal("no free notifications reached the device")
+	}
+	// Ranges past the object's size are rejected.
+	if err := st.FreeRange(id, 30<<10, 8192, nil); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("out-of-range free: %v", err)
+	}
+	if err := st.FreeRange(ObjectID(777), 0, 4096, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object free: %v", err)
+	}
+}

@@ -61,9 +61,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -141,4 +141,14 @@ func (e *Engine) RunUntil(t Time) {
 	if t > e.now {
 		e.now = t
 	}
+}
+
+// RunFor processes events within the next d of simulated time and leaves
+// the clock exactly d past where it started. Events scheduled later
+// remain pending.
+func (e *Engine) RunFor(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative duration %v", d))
+	}
+	e.RunUntil(e.now + d)
 }

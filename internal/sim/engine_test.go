@@ -255,3 +255,28 @@ func TestRNGZipfSkew(t *testing.T) {
 		t.Fatalf("zipf not skewed: rank0=%d rank100=%d", counts[0], counts[100])
 	}
 }
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(25, func() { ran++ })
+	e.RunFor(15)
+	if ran != 1 {
+		t.Fatalf("RunFor(15) ran %d events, want 1", ran)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now = %v, want 15", e.Now())
+	}
+	// A second slice picks up where the first left off.
+	e.RunFor(15)
+	if ran != 2 || e.Now() != 30 {
+		t.Fatalf("after second RunFor: ran=%d now=%v", ran, e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative RunFor did not panic")
+		}
+	}()
+	e.RunFor(-1)
+}

@@ -192,7 +192,7 @@ func NewTable(title string, header ...string) *Table {
 }
 
 // AddRow appends a row; cells are formatted with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -208,7 +208,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 }
 
 // AddNote appends a free-text footnote rendered under the table.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.notes = append(t.notes, fmt.Sprintf(format, args...))
 }
 
