@@ -431,7 +431,7 @@ func BenchmarkDeviceRandomWrites(b *testing.B) {
 
 // BenchmarkAlignerThroughput measures the merge/align pass itself.
 func BenchmarkAlignerThroughput(b *testing.B) {
-	ops, err := workload.Synthetic(workload.SyntheticConfig{
+	ops, err := workload.SyntheticOps(workload.SyntheticConfig{
 		Ops: 10000, AddressSpace: 1 << 28, ReqSize: 4096, SeqProb: 0.6, Seed: 2,
 	})
 	if err != nil {
@@ -442,6 +442,61 @@ func BenchmarkAlignerThroughput(b *testing.B) {
 		if _, err := trace.Align(ops, 32<<10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDriveStream1M drives a one-million-op synthetic stream
+// through Device.Drive on the base SSD profile. The point is the memory
+// shape, not the speed: b.ReportAllocs shows constant allocations per
+// op (a few small closures), and the benchmark fails outright if the
+// event heap ever holds more than a bounded number of pending events —
+// a Drive that materialized the stream would schedule a million
+// arrivals up front. O(1) memory in the stream's length, where the
+// slice-era Play was O(n).
+func BenchmarkDriveStream1M(b *testing.B) {
+	const million = 1_000_000
+	for i := 0; i < b.N; i++ {
+		d, err := core.Open("ssd")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Reads over a preconditioned region at a gentle open-loop rate:
+		// the device keeps up, so queues (and memory) stay flat.
+		if err := core.PreconditionFrac(d, 1<<20, 0.5); err != nil {
+			b.Fatal(err)
+		}
+		space := int64(float64(d.LogicalBytes()) * 0.5)
+		stream, err := workload.Synthetic(workload.SyntheticConfig{
+			Ops:            million,
+			AddressSpace:   space,
+			ReadFrac:       1.0,
+			ReqSize:        4096,
+			InterarrivalLo: 90 * sim.Microsecond,
+			InterarrivalHi: 110 * sim.Microsecond,
+			Seed:           3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Sample the event heap on every pull: the O(1) guard.
+		maxPending := 0
+		probed := trace.Func(func() (trace.Op, bool) {
+			if p := d.Engine().Pending(); p > maxPending {
+				maxPending = p
+			}
+			return stream.Next()
+		})
+		b.ReportAllocs()
+		if err := d.Drive(trace.Shift(probed, d.Engine().Now())); err != nil {
+			b.Fatal(err)
+		}
+		if got := d.Metrics().Completed; got < million {
+			b.Fatalf("completed %d of %d", got, million)
+		}
+		if maxPending > 1024 {
+			b.Fatalf("event heap peaked at %d pending events — the stream is being materialized", maxPending)
+		}
+		b.ReportMetric(float64(maxPending), "max-pending-events")
 	}
 }
 

@@ -1,9 +1,10 @@
 // Command ssdsim runs a workload against a simulated device and prints
-// performance and cleaning statistics. Devices come from the named
-// profiles (see -list); the workload is a trace file (from tracegen) or a
-// built-in synthetic stream.
+// performance and cleaning statistics. Devices come from the registry's
+// named profiles (see -list); the workload is a trace file (from
+// tracegen, streamed from disk — never loaded whole) or a built-in
+// synthetic stream.
 //
-//	ssdsim -profile S4slc_sim -trace pm.trace
+//	ssdsim -profile S4slc_sim -trace pm.trace -limit 100000
 //	ssdsim -profile S2slc -ops 20000 -readfrac 0.5 -align
 //	ssdsim -list
 package main
@@ -36,6 +37,7 @@ func main() {
 		stripeKB = flag.Int64("stripe", 32, "alignment stripe in KiB (with -align)")
 		informed = flag.Bool("informed", false, "enable informed cleaning (free-page knowledge)")
 		scheme   = flag.String("scheme", "", "FTL scheme override: page|block|hybrid")
+		limit    = flag.Int("limit", 0, "replay at most this many ops (0 = no cap)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -56,21 +58,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var opts []core.Option
 	if *informed {
-		p.SSD.Informed = true
+		opts = append(opts, core.WithInformed(true))
 	}
 	switch *scheme {
 	case "":
 	case "page":
-		p.SSD.Scheme = ftl.PageMapped
+		opts = append(opts, core.WithScheme(ftl.PageMapped))
 	case "block":
-		p.SSD.Scheme = ftl.BlockMapped
+		opts = append(opts, core.WithScheme(ftl.BlockMapped))
 	case "hybrid":
-		p.SSD.Scheme = ftl.HybridLog
+		opts = append(opts, core.WithScheme(ftl.HybridLog))
 	default:
 		fail(fmt.Errorf("unknown scheme %q", *scheme))
 	}
-	dev, err := p.NewDevice()
+	dev, err := core.Open(*profile, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -82,19 +85,19 @@ func main() {
 		}
 	}
 
-	var opsIn []trace.Op
+	// The workload is a stream end to end: decoded from disk or pulled
+	// from the generator, optionally aligned, capped, and time-shifted —
+	// replay memory is constant no matter how long the trace is.
+	var stream trace.Stream
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
 		if err != nil {
 			fail(err)
 		}
-		opsIn, err = trace.Decode(f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
+		defer f.Close()
+		stream = trace.NewDecoder(f)
 	} else {
-		opsIn, err = workload.Synthetic(workload.SyntheticConfig{
+		stream, err = workload.Synthetic(workload.SyntheticConfig{
 			Ops:            *ops,
 			AddressSpace:   int64(float64(dev.LogicalBytes()) * 0.6),
 			ReadFrac:       *readFrac,
@@ -108,7 +111,7 @@ func main() {
 		}
 	}
 	if *align {
-		opsIn, err = trace.AlignWith(opsIn, *stripeKB<<10, trace.AlignOptions{
+		stream, err = trace.AlignStream(stream, *stripeKB<<10, trace.AlignOptions{
 			MaxGap:      6 * sim.Millisecond,
 			ReadBarrier: true,
 		})
@@ -116,15 +119,15 @@ func main() {
 			fail(err)
 		}
 	}
-	// Shift trace timestamps past the preconditioning window.
-	base := dev.Engine().Now()
-	for i := range opsIn {
-		opsIn[i].At += base
+	if *limit > 0 {
+		stream = trace.Limit(stream, *limit)
 	}
+	// Shift trace timestamps past the preconditioning window.
+	stream = trace.Shift(stream, dev.Engine().Now())
 
 	start := dev.Engine().Now()
 	before := dev.Metrics()
-	if err := dev.Play(opsIn); err != nil {
+	if err := dev.Drive(stream); err != nil {
 		fail(err)
 	}
 	elapsed := (dev.Engine().Now() - start).Seconds()

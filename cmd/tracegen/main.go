@@ -1,5 +1,7 @@
 // Command tracegen generates block-level workload traces in the text
-// format understood by cmd/ssdsim and ossd/internal/trace.
+// format understood by cmd/ssdsim and ossd/internal/trace. Traces are
+// streamed to the output as they are generated — a hundred-million-op
+// trace needs no more memory than a hundred-op one.
 //
 //	tracegen -workload postmark -transactions 5000 -capacity 64MiB -o pm.trace
 //	tracegen -workload synthetic -ops 10000 -seq 0.4 -readfrac 0.66
@@ -52,6 +54,7 @@ func main() {
 		priFrac  = flag.Float64("priority", 0.0, "priority request fraction (synthetic)")
 		iaUs     = flag.Int64("ia", 100, "mean inter-arrival in microseconds")
 		seed     = flag.Int64("seed", 1, "random seed")
+		limit    = flag.Int("limit", 0, "emit at most this many ops (0 = no cap)")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -66,14 +69,14 @@ func main() {
 	}
 	ia := sim.Time(*iaUs) * sim.Microsecond
 
-	var opsOut []trace.Op
+	var stream trace.Stream
 	switch *kind {
 	case "synthetic":
 		req, err := parseSize(*reqSize)
 		if err != nil {
 			fail(err)
 		}
-		opsOut, err = workload.Synthetic(workload.SyntheticConfig{
+		stream, err = workload.Synthetic(workload.SyntheticConfig{
 			Ops:            *ops,
 			AddressSpace:   cap,
 			ReadFrac:       *readFrac,
@@ -88,7 +91,7 @@ func main() {
 			fail(err)
 		}
 	case "postmark":
-		opsOut, err = workload.Postmark(workload.PostmarkConfig{
+		stream, err = workload.Postmark(workload.PostmarkConfig{
 			Transactions:     *tx,
 			CapacityBytes:    cap,
 			MeanInterarrival: ia,
@@ -98,7 +101,7 @@ func main() {
 			fail(err)
 		}
 	case "tpcc":
-		opsOut, err = workload.TPCC(workload.OLTPConfig{
+		stream, err = workload.TPCC(workload.OLTPConfig{
 			Ops:              *ops,
 			CapacityBytes:    cap,
 			MeanInterarrival: ia,
@@ -108,7 +111,7 @@ func main() {
 			fail(err)
 		}
 	case "exchange":
-		opsOut, err = workload.Exchange(workload.ExchangeConfig{
+		stream, err = workload.Exchange(workload.ExchangeConfig{
 			Ops:              *ops,
 			CapacityBytes:    cap,
 			MeanInterarrival: ia,
@@ -126,7 +129,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		opsOut, err = workload.IOzone(workload.IOzoneConfig{
+		stream, err = workload.IOzone(workload.IOzoneConfig{
 			FileBytes:        fileBytes,
 			RecordBytes:      rec,
 			MeanInterarrival: ia,
@@ -138,6 +141,9 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown workload %q", *kind))
 	}
+	if *limit > 0 {
+		stream = trace.Limit(stream, *limit)
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -148,10 +154,24 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	st := trace.Summarize(opsOut)
-	fmt.Fprintf(out, "# workload=%s ops=%d reads=%d writes=%d frees=%d maxOffset=%d\n",
-		*kind, st.Ops, st.Reads, st.Writes, st.Frees, st.MaxOffset)
-	if err := trace.Encode(out, opsOut); err != nil {
+	// Stream ops through the encoder while tallying; the summary goes at
+	// the end as a comment (the decoder skips comments anywhere), so the
+	// trace never lives in memory.
+	var st trace.Stats
+	enc := trace.NewEncoder(out)
+	if err := enc.Comment("workload=%s seed=%d", *kind, *seed); err != nil {
 		fail(err)
 	}
+	if _, err := enc.Copy(trace.Tally(stream, &st)); err != nil {
+		fail(err)
+	}
+	if err := enc.Comment("ops=%d reads=%d writes=%d frees=%d maxOffset=%d",
+		st.Ops, st.Reads, st.Writes, st.Frees, st.MaxOffset); err != nil {
+		fail(err)
+	}
+	if err := enc.Flush(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d ops (%d reads, %d writes, %d frees)\n",
+		st.Ops, st.Reads, st.Writes, st.Frees)
 }

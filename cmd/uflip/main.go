@@ -57,9 +57,9 @@ func main() {
 	}
 }
 
-// fresh builds a preconditioned device.
+// fresh builds a preconditioned device through the registry.
 func fresh(p core.Profile) (core.Device, error) {
-	d, err := p.NewDevice()
+	d, err := core.Open(p.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +151,7 @@ func locality(p core.Profile, seed int64) error {
 	t := stats.NewTable("Probe: locality (random-write MB/s by working-set fraction)",
 		"WorkingSet", "MB/s", "PagesMoved")
 	for _, frac := range []float64{0.05, 0.25, 0.50, 1.0} {
-		d, err := p.NewDevice()
+		d, err := core.Open(p.Name)
 		if err != nil {
 			return err
 		}

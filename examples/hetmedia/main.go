@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	dev, err := core.NewSSD(ssd.Config{
+	d, err := core.Open("ssd", core.WithSSD(ssd.Config{
 		Elements:      8,
 		MLCElements:   4, // half the gang is MLC
 		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
@@ -31,17 +31,19 @@ func main() {
 		GCLow:         0.05,
 		GCCritical:    0.02,
 		Informed:      true,
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	dev := d.(*core.SSD)
 	fmt.Printf("capacity %d MB; SLC region [0, %d MB), MLC region beyond\n",
 		dev.LogicalBytes()>>20, dev.Raw.RegionBoundary()>>20)
 
 	// Part 1: the contract violation. Identical sequential writes to the
 	// two halves of the LBN space take very different time.
 	measure := func(base int64) float64 {
-		d2, _ := core.NewSSD(dev.Raw.Config())
+		dd, _ := core.Open("ssd", core.WithSSD(dev.Raw.Config()))
+		d2 := dd.(*core.SSD)
 		eng := d2.Engine()
 		for i := 0; i < 256; i++ {
 			d2.Raw.Submit(trace.Op{Kind: trace.Write, Offset: base + int64(i)*4096, Size: 4096}, nil)

@@ -22,21 +22,24 @@ import (
 )
 
 func buildStore(informed bool) (*core.SSD, *osd.Store) {
-	dev, err := core.NewSSD(ssd.Config{
-		Elements:      4,
-		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
-		Overprovision: 0.12,
-		Layout:        ssd.FullStripe,
-		StripeBytes:   4 * 4096,
-		Scheduler:     sched.SWTF,
-		CtrlOverhead:  10 * sim.Microsecond,
-		GCLow:         0.05,
-		GCCritical:    0.02,
-		Informed:      informed,
-	})
+	d, err := core.Open("ssd",
+		core.WithSSD(ssd.Config{
+			Elements:      4,
+			Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+			Overprovision: 0.12,
+			Layout:        ssd.FullStripe,
+			StripeBytes:   4 * 4096,
+			Scheduler:     sched.SWTF,
+			CtrlOverhead:  10 * sim.Microsecond,
+			GCLow:         0.05,
+			GCCritical:    0.02,
+		}),
+		core.WithInformed(informed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	dev := d.(*core.SSD)
 	store, err := osd.New(dev.Raw)
 	if err != nil {
 		log.Fatal(err)

@@ -14,24 +14,28 @@ import (
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
+	"ossd/internal/trace"
 	"ossd/internal/workload"
 )
 
 func run(aware bool) (fgMs, bgMs float64, cleans int64) {
-	dev, err := core.NewSSD(ssd.Config{
-		Elements:      16,
-		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
-		Overprovision: 0.10,
-		Layout:        ssd.Interleaved,
-		Scheduler:     sched.SWTF,
-		CtrlOverhead:  10 * sim.Microsecond,
-		GCLow:         0.05,
-		GCCritical:    0.02,
-		PriorityAware: aware,
-	})
+	d, err := core.Open("ssd",
+		core.WithSSD(ssd.Config{
+			Elements:      16,
+			Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+			Overprovision: 0.10,
+			Layout:        ssd.Interleaved,
+			Scheduler:     sched.SWTF,
+			CtrlOverhead:  10 * sim.Microsecond,
+			GCLow:         0.05,
+			GCCritical:    0.02,
+		}),
+		core.WithPriorityAware(aware),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	dev := d.(*core.SSD)
 	// Fill to 75% twice: the second pass drains the free pool so cleaning
 	// is active from the start.
 	for i := 0; i < 2; i++ {
@@ -39,7 +43,9 @@ func run(aware bool) (fgMs, bgMs float64, cleans int64) {
 			log.Fatal(err)
 		}
 	}
-	ops, err := workload.Synthetic(workload.SyntheticConfig{
+	// The workload is a stream: generated op by op as the device pulls
+	// it, shifted past the preconditioning window.
+	stream, err := workload.Synthetic(workload.SyntheticConfig{
 		Ops:            40000,
 		AddressSpace:   int64(float64(dev.LogicalBytes()) * 0.75),
 		ReadFrac:       0.4,
@@ -51,11 +57,7 @@ func run(aware bool) (fgMs, bgMs float64, cleans int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := dev.Engine().Now()
-	for i := range ops {
-		ops[i].At += base
-	}
-	if err := dev.Play(ops); err != nil {
+	if err := dev.Drive(trace.Shift(stream, dev.Engine().Now())); err != nil {
 		log.Fatal(err)
 	}
 	m := dev.Raw.Metrics()

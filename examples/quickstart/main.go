@@ -1,6 +1,7 @@
-// Quickstart: build a simulated SSD, issue block I/O against it, and read
-// back the device statistics. This is the smallest useful program against
-// the library's block-level API.
+// Quickstart: open a simulated SSD from the device registry, drive a
+// stream of block I/O against it, and read back the device statistics.
+// This is the smallest useful program against the library's block-level
+// API.
 package main
 
 import (
@@ -8,34 +9,25 @@ import (
 	"log"
 
 	"ossd/internal/core"
-	"ossd/internal/flash"
-	"ossd/internal/sched"
 	"ossd/internal/sim"
-	"ossd/internal/ssd"
 	"ossd/internal/trace"
 )
 
 func main() {
-	// A small SSD: 8 flash packages, 4 KB pages, 64-page blocks,
-	// page-interleaved mapping, cleaning watermarks at 5%/2%.
-	dev, err := core.NewSSD(ssd.Config{
-		Elements:      8,
-		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
-		Overprovision: 0.10,
-		Layout:        ssd.Interleaved,
-		Scheduler:     sched.SWTF,
-		CtrlOverhead:  10 * sim.Microsecond,
-		GCLow:         0.05,
-		GCCritical:    0.02,
-		Informed:      true,
-	})
+	// Open the generic small SSD from the registry — 8 flash packages,
+	// 4 KB pages, page-interleaved mapping, cleaning watermarks at
+	// 5%/2% — with informed cleaning switched on. Any registered profile
+	// (see `ssdsim -list`) opens the same way; functional options tweak
+	// capacity, FTL scheme, stripe, scheduler, and more.
+	dev, err := core.Open("ssd", core.WithInformed(true))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("device capacity: %d MB\n", dev.LogicalBytes()>>20)
 
-	// Write 4 MB sequentially, then read it back, then overwrite part of
-	// it randomly. Submit queues work; the simulation engine runs it.
+	// Write 4 MB sequentially, then read it back, then free a dead
+	// range. The workload is a trace.Stream — pulled one op at a time —
+	// and Drive replays it open loop at its timestamps.
 	var ops []trace.Op
 	var at sim.Time
 	for off := int64(0); off < 4<<20; off += 64 << 10 {
@@ -50,16 +42,18 @@ func main() {
 	// informed FTL drops the mapping so cleaning never copies it.
 	ops = append(ops, trace.Op{At: at, Kind: trace.Free, Offset: 1 << 20, Size: 1 << 20})
 
-	if err := dev.Play(ops); err != nil {
+	if err := dev.Drive(trace.FromSlice(ops)); err != nil {
 		log.Fatal(err)
 	}
 
 	m := dev.Metrics()
 	fmt.Printf("completed:       %d requests in %v simulated\n", m.Completed, dev.Engine().Now())
 	fmt.Printf("moved:           %d MB written, %d MB read\n", m.BytesWritten>>20, m.BytesRead>>20)
+	fmt.Printf("free notices:    %d counted by the device\n", m.Frees)
 	fmt.Printf("mean response:   read %.3f ms, write %.3f ms\n", m.MeanReadMs, m.MeanWriteMs)
 
-	g := dev.Raw.GCStats()
-	fmt.Printf("free notices:    %d pages dropped from the FTL\n", g.FreesApplied)
-	fmt.Printf("write amp:       %.2fx\n", dev.Raw.WriteAmplification())
+	ssd := dev.(*core.SSD)
+	g := ssd.Raw.GCStats()
+	fmt.Printf("frees applied:   %d pages dropped from the FTL\n", g.FreesApplied)
+	fmt.Printf("write amp:       %.2fx\n", ssd.Raw.WriteAmplification())
 }

@@ -1,7 +1,9 @@
-// Tracereplay: generate a macro workload trace, transform it with the
-// write merge-and-align pass (§3.4), and replay both versions on the
-// paper's striped device to see the alignment win end to end. This is the
-// pipeline behind Tables 3 and 4, in ~80 lines.
+// Tracereplay: stream a macro workload through the write merge-and-align
+// pass (§3.4) and replay both versions on the paper's striped device to
+// see the alignment win end to end. This is the pipeline behind Tables 3
+// and 4, in ~80 lines — and because the workload is a trace.Stream, the
+// trace is never materialized: generation, alignment, and replay all run
+// at constant memory.
 package main
 
 import (
@@ -9,10 +11,7 @@ import (
 	"log"
 
 	"ossd/internal/core"
-	"ossd/internal/flash"
-	"ossd/internal/sched"
 	"ossd/internal/sim"
-	"ossd/internal/ssd"
 	"ossd/internal/trace"
 	"ossd/internal/workload"
 )
@@ -20,52 +19,26 @@ import (
 const stripeBytes = 32 << 10
 
 func device() *core.SSD {
-	dev, err := core.NewSSD(ssd.Config{
-		Elements:      8,
-		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
-		Overprovision: 0.10,
-		Layout:        ssd.FullStripe,
-		StripeBytes:   stripeBytes,
-		Scheduler:     sched.SWTF,
-		CtrlOverhead:  20 * sim.Microsecond,
-		GCLow:         0.05,
-		GCCritical:    0.02,
-	})
+	// The base SSD restriped so one 32 KB logical page spans the whole
+	// gang — the layout behind the paper's alignment results (the
+	// paper-exact Table 3 parameterization lives in
+	// internal/experiments/table3.go).
+	dev, err := core.Open("ssd", core.WithStripe(stripeBytes))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := core.PreconditionFrac(dev, 1<<20, 0.6); err != nil {
+	d := dev.(*core.SSD)
+	if err := core.PreconditionFrac(d, 1<<20, 0.6); err != nil {
 		log.Fatal(err)
 	}
-	return dev
+	return d
 }
 
-func replay(ops []trace.Op) (meanWriteMs float64, rmwReads int64) {
-	dev := device()
-	base := dev.Engine().Now()
-	shifted := make([]trace.Op, len(ops))
-	copy(shifted, ops)
-	for i := range shifted {
-		shifted[i].At += base
-	}
-	before := dev.Raw.GCStats()
-	wBefore := dev.Raw.Metrics().WriteResp
-	if err := dev.Play(shifted); err != nil {
-		log.Fatal(err)
-	}
-	after := dev.Raw.GCStats()
-	w := dev.Raw.Metrics().WriteResp
-	n := w.N() - wBefore.N()
-	if n > 0 {
-		meanWriteMs = (w.Mean()*float64(w.N()) - wBefore.Mean()*float64(wBefore.N())) / float64(n)
-	}
-	return meanWriteMs, after.HostPageReads - before.HostPageReads
-}
-
-func main() {
-	dev := device()
-	space := int64(float64(dev.LogicalBytes()) * 0.6)
-	ops, err := workload.IOzone(workload.IOzoneConfig{
+// iozone regenerates the workload stream from its seed; each replay
+// pulls its own copy, so the two replays stay identical without a shared
+// slice.
+func iozone(space int64) trace.Stream {
+	s, err := workload.IOzone(workload.IOzoneConfig{
 		FileBytes:        space / 2,
 		RecordBytes:      128 << 10,
 		MeanInterarrival: 3 * sim.Millisecond,
@@ -74,17 +47,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	aligned, err := trace.AlignWith(ops, stripeBytes, trace.AlignOptions{
-		MaxGap:      6 * sim.Millisecond,
-		ReadBarrier: true,
-	})
-	if err != nil {
+	return s
+}
+
+func replay(stream trace.Stream) (meanWriteMs float64, rmwReads int64, ops int) {
+	dev := device()
+	var st trace.Stats
+	shifted := trace.Tally(trace.Shift(stream, dev.Engine().Now()), &st)
+	before := dev.Raw.GCStats()
+	wBefore := dev.Raw.Metrics().WriteResp
+	if err := dev.Drive(shifted); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("IOzone trace: %d ops; aligned form: %d ops\n", len(ops), len(aligned))
+	after := dev.Raw.GCStats()
+	w := dev.Raw.Metrics().WriteResp
+	n := w.N() - wBefore.N()
+	if n > 0 {
+		meanWriteMs = (w.Mean()*float64(w.N()) - wBefore.Mean()*float64(wBefore.N())) / float64(n)
+	}
+	return meanWriteMs, after.HostPageReads - before.HostPageReads, st.Ops
+}
 
-	uMs, uRMW := replay(ops)
-	aMs, aRMW := replay(aligned)
+func main() {
+	probe := device()
+	space := int64(float64(probe.LogicalBytes()) * 0.6)
+
+	align := func(s trace.Stream) trace.Stream {
+		a, err := trace.AlignStream(s, stripeBytes, trace.AlignOptions{
+			MaxGap:      6 * sim.Millisecond,
+			ReadBarrier: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return a
+	}
+
+	uMs, uRMW, uOps := replay(iozone(space))
+	aMs, aRMW, aOps := replay(align(iozone(space)))
+	fmt.Printf("IOzone trace: %d ops; aligned form: %d ops\n", uOps, aOps)
 	fmt.Printf("unaligned: mean write %.3f ms, %d read-modify-write page reads\n", uMs, uRMW)
 	fmt.Printf("aligned:   mean write %.3f ms, %d read-modify-write page reads\n", aMs, aRMW)
 	if uMs > 0 {

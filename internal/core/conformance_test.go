@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"ossd/internal/flash"
@@ -88,7 +89,9 @@ func TestDeviceConformance(t *testing.T) {
 				t.Fatalf("errors: %d", m.Errors)
 			}
 
-			// Free: every device accepts the notification and completes it.
+			// Free: every device accepts the notification, completes it,
+			// and counts it — Snapshot.Frees is uniform across media,
+			// whether or not the substrate acts on the free.
 			before := d.Metrics().Completed
 			if err := d.Free(0, 4096); err != nil {
 				t.Fatal(err)
@@ -96,6 +99,9 @@ func TestDeviceConformance(t *testing.T) {
 			d.Engine().Run()
 			if d.Metrics().Completed <= before {
 				t.Fatal("free never completed")
+			}
+			if got := d.Metrics().Frees; got != 1 {
+				t.Fatalf("frees = %d, want 1 (uniform counting)", got)
 			}
 
 			// Play: a timestamped trace (including a free) drains fully.
@@ -117,6 +123,31 @@ func TestDeviceConformance(t *testing.T) {
 			}
 			if d2.Engine().Pending() != 0 {
 				t.Fatalf("play left %d events pending", d2.Engine().Pending())
+			}
+
+			// Drive: the same trace as a stream produces the same motion,
+			// pulled one op at a time.
+			d2b, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d2b.Drive(trace.FromSlice(ops)); err != nil {
+				t.Fatal(err)
+			}
+			if m := d2b.Metrics(); m.BytesWritten != 8192 || m.BytesRead != 4096 || m.Frees != 1 {
+				t.Fatalf("drive moved read %d written %d frees %d", m.BytesRead, m.BytesWritten, m.Frees)
+			}
+			if d2b.Engine().Pending() != 0 {
+				t.Fatalf("drive left %d events pending", d2b.Engine().Pending())
+			}
+
+			// Drive surfaces a decoder error from the stream.
+			d2c, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d2c.Drive(trace.NewDecoder(strings.NewReader("0 W 0 4096\nbroken\n"))); err == nil {
+				t.Fatal("drive swallowed stream error")
 			}
 
 			// ClosedLoop: exactly n generated ops complete.

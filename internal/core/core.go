@@ -1,9 +1,10 @@
 // Package core is the public facade of the library: one Device interface
 // spanning every simulated substrate — SSD, HDD, MEMS, RAID, and the
-// object-fronted SSD — plus the bandwidth-measurement harness used by the
-// paper's Table 2 and the named device profiles the experiments run
-// against. Examples, command-line tools, and benchmarks consume this
-// package; the internal substrates stay swappable behind it.
+// object-fronted SSD — plus the device registry (Open, Build, Register),
+// the bandwidth-measurement harness used by the paper's Table 2, and the
+// named device profiles the experiments run against. Examples,
+// command-line tools, and benchmarks consume this package; the internal
+// substrates stay swappable behind it.
 package core
 
 import (
@@ -16,11 +17,11 @@ import (
 )
 
 // Device is the block-level view shared by all media models: submit timed
-// operations, send free (TRIM/delete) notifications, replay traces or
-// drive a closed loop, and snapshot metrics, all on a simulated clock.
-// A Device owns its engine; device instances are independent simulations
-// and may run concurrently with each other (never individually shared
-// across goroutines).
+// operations, send free (TRIM/delete) notifications, drive a workload
+// stream or a closed loop, and snapshot metrics, all on a simulated
+// clock. A Device owns its engine; device instances are independent
+// simulations and may run concurrently with each other (never
+// individually shared across goroutines).
 type Device interface {
 	// Submit enqueues an operation at the current simulated time; onDone
 	// (optional) receives the response time when it completes.
@@ -29,7 +30,17 @@ type Device interface {
 	// TRIM/OSD-delete signal of §3.5). Devices without block management
 	// complete it as a metadata-only no-op.
 	Free(off, size int64) error
-	// Play replays a timestamped trace to completion.
+	// Drive replays a workload stream to completion, open loop: each
+	// operation arrives at its trace timestamp. Timestamps must be
+	// nondecreasing (every generator and the §3.4 aligner satisfy this);
+	// an op whose timestamp is in the past is submitted immediately, so
+	// out-of-order traces replay in stream order, not timestamp order.
+	// Operations are pulled one at a time, so memory stays constant in
+	// the stream's length.
+	Drive(s trace.Stream) error
+	// Play replays a timestamped trace to completion. Equivalent to
+	// Drive(trace.FromSlice(ops)), including the nondecreasing-timestamp
+	// contract; kept as the slice-era adapter.
 	Play(ops []trace.Op) error
 	// ClosedLoop keeps depth ops outstanding, drawing from gen until it
 	// returns false, then runs to completion.
@@ -50,8 +61,10 @@ type Snapshot struct {
 	Completed int64
 	// BytesRead and BytesWritten count host data moved.
 	BytesRead, BytesWritten int64
-	// Frees counts free notifications the device tracked. Media without
-	// block management complete frees but do not count them.
+	// Frees counts completed free notifications. Every wrapper counts
+	// them, whether or not the medium acts on them: on media without
+	// block management a free completes as a metadata no-op but still
+	// increments this field.
 	Frees int64
 	// Errors counts failed requests (flash wear-out; zero elsewhere).
 	Errors int64
@@ -64,13 +77,80 @@ func freeOp(off, size int64) trace.Op {
 	return trace.Op{Kind: trace.Free, Offset: off, Size: size}
 }
 
+// ---- shared workload loops ----
+//
+// Every wrapper implements Drive, Play, and ClosedLoop through the three
+// functions below, in terms of nothing but Submit and the engine: one
+// replay implementation for all five substrates.
+
+// drive pulls operations from s one at a time, scheduling each arrival
+// at its trace timestamp (clamped to now — timestamps are treated as
+// nondecreasing), and runs the engine until the device drains. Only one
+// pending arrival exists at any moment, so driving a million-op stream
+// holds one Op in memory, not a million.
+func drive(d Device, s trace.Stream) error {
+	eng := d.Engine()
+	var firstErr error
+	var next func()
+	next = func() {
+		op, ok := s.Next()
+		if !ok {
+			return
+		}
+		at := op.At
+		if now := eng.Now(); at < now {
+			at = now
+		}
+		eng.At(at, func() {
+			if err := d.Submit(op, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			next()
+		})
+	}
+	next()
+	eng.Run()
+	if firstErr == nil {
+		firstErr = trace.Err(s)
+	}
+	return firstErr
+}
+
+// closedLoop keeps depth requests outstanding, drawing operations from
+// gen until it returns false; each op's At field is ignored.
+func closedLoop(d Device, depth int, gen func(i int) (trace.Op, bool)) error {
+	if depth <= 0 {
+		depth = 1
+	}
+	eng := d.Engine()
+	var firstErr error
+	i := 0
+	var issue func()
+	issue = func() {
+		op, ok := gen(i)
+		if !ok {
+			return
+		}
+		i++
+		if err := d.Submit(op, func(sim.Time, error) { issue() }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for k := 0; k < depth; k++ {
+		issue()
+	}
+	eng.Run()
+	return firstErr
+}
+
 // SSD wraps the flash device as a core.Device while keeping the rich
 // internal API reachable via Raw.
 type SSD struct {
 	Raw *ssd.Device
 }
 
-// NewSSD builds a flash device on a fresh engine.
+// NewSSD builds a flash device on a fresh engine. Prefer Open or Build;
+// this remains for callers holding a raw ssd.Config.
 func NewSSD(cfg ssd.Config) (*SSD, error) {
 	dev, err := ssd.New(sim.NewEngine(), cfg)
 	if err != nil {
@@ -91,12 +171,15 @@ func (s *SSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 // Free implements Device: the FTL drops the mapped pages.
 func (s *SSD) Free(off, size int64) error { return s.Raw.Submit(freeOp(off, size), nil) }
 
+// Drive implements Device.
+func (s *SSD) Drive(st trace.Stream) error { return drive(s, st) }
+
 // Play implements Device.
-func (s *SSD) Play(ops []trace.Op) error { return s.Raw.Play(ops) }
+func (s *SSD) Play(ops []trace.Op) error { return drive(s, trace.FromSlice(ops)) }
 
 // ClosedLoop implements Device.
 func (s *SSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
-	return s.Raw.ClosedLoop(depth, gen)
+	return closedLoop(s, depth, gen)
 }
 
 // Engine implements Device.
@@ -125,9 +208,13 @@ func (s *SSD) Metrics() Snapshot { return ssdSnapshot(s.Raw.Metrics()) }
 // HDD wraps the disk model as a core.Device.
 type HDD struct {
 	Raw *hdd.Disk
+	// frees counts completed free notifications; the disk model itself
+	// has no TRIM, so the wrapper keeps the Snapshot field uniform.
+	frees int64
 }
 
-// NewHDD builds a disk on a fresh engine.
+// NewHDD builds a disk on a fresh engine. Prefer Open or Build; this
+// remains for callers holding a raw hdd.Config.
 func NewHDD(cfg hdd.Config) (*HDD, error) {
 	d, err := hdd.New(sim.NewEngine(), cfg)
 	if err != nil {
@@ -139,22 +226,32 @@ func NewHDD(cfg hdd.Config) (*HDD, error) {
 // Submit implements Device.
 func (h *HDD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	var cb func(*hdd.Request)
-	if onDone != nil {
-		cb = func(r *hdd.Request) { onDone(r.Response(), nil) }
+	if isFree := op.Kind == trace.Free; isFree || onDone != nil {
+		cb = func(r *hdd.Request) {
+			if isFree {
+				h.frees++
+			}
+			if onDone != nil {
+				onDone(r.Response(), nil)
+			}
+		}
 	}
 	return h.Raw.Submit(op, cb)
 }
 
 // Free implements Device: disks have no TRIM; the request completes as a
-// metadata no-op.
-func (h *HDD) Free(off, size int64) error { return h.Raw.Submit(freeOp(off, size), nil) }
+// metadata no-op (and is counted in Snapshot.Frees).
+func (h *HDD) Free(off, size int64) error { return h.Submit(freeOp(off, size), nil) }
+
+// Drive implements Device.
+func (h *HDD) Drive(st trace.Stream) error { return drive(h, st) }
 
 // Play implements Device.
-func (h *HDD) Play(ops []trace.Op) error { return h.Raw.Play(ops) }
+func (h *HDD) Play(ops []trace.Op) error { return drive(h, trace.FromSlice(ops)) }
 
 // ClosedLoop implements Device.
 func (h *HDD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
-	return h.Raw.ClosedLoop(depth, gen)
+	return closedLoop(h, depth, gen)
 }
 
 // Engine implements Device.
@@ -170,6 +267,7 @@ func (h *HDD) Metrics() Snapshot {
 		Completed:    m.Completed,
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
+		Frees:        h.frees,
 		MeanReadMs:   m.ReadResp.Mean(),
 		MeanWriteMs:  m.WriteResp.Mean(),
 	}

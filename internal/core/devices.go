@@ -12,9 +12,13 @@ import (
 // column).
 type RAID struct {
 	Raw *raid.Array
+	// frees counts completed free notifications (the array has no TRIM;
+	// the wrapper keeps the Snapshot field uniform).
+	frees int64
 }
 
-// NewRAID builds an array on a fresh engine.
+// NewRAID builds an array on a fresh engine. Prefer Open or Build; this
+// remains for callers holding a raw raid.Config.
 func NewRAID(cfg raid.Config) (*RAID, error) {
 	a, err := raid.New(sim.NewEngine(), cfg)
 	if err != nil {
@@ -26,22 +30,32 @@ func NewRAID(cfg raid.Config) (*RAID, error) {
 // Submit implements Device.
 func (r *RAID) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	var cb func(*raid.Request)
-	if onDone != nil {
-		cb = func(q *raid.Request) { onDone(q.Response(), nil) }
+	if isFree := op.Kind == trace.Free; isFree || onDone != nil {
+		cb = func(q *raid.Request) {
+			if isFree {
+				r.frees++
+			}
+			if onDone != nil {
+				onDone(q.Response(), nil)
+			}
+		}
 	}
 	return r.Raw.Submit(op, cb)
 }
 
 // Free implements Device: the array has no TRIM; the request completes as
-// a metadata no-op.
-func (r *RAID) Free(off, size int64) error { return r.Raw.Submit(freeOp(off, size), nil) }
+// a metadata no-op (and is counted in Snapshot.Frees).
+func (r *RAID) Free(off, size int64) error { return r.Submit(freeOp(off, size), nil) }
+
+// Drive implements Device.
+func (r *RAID) Drive(st trace.Stream) error { return drive(r, st) }
 
 // Play implements Device.
-func (r *RAID) Play(ops []trace.Op) error { return r.Raw.Play(ops) }
+func (r *RAID) Play(ops []trace.Op) error { return drive(r, trace.FromSlice(ops)) }
 
 // ClosedLoop implements Device.
 func (r *RAID) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
-	return r.Raw.ClosedLoop(depth, gen)
+	return closedLoop(r, depth, gen)
 }
 
 // Engine implements Device.
@@ -57,6 +71,7 @@ func (r *RAID) Metrics() Snapshot {
 		Completed:    m.Completed,
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
+		Frees:        r.frees,
 		MeanReadMs:   m.ReadResp.Mean(),
 		MeanWriteMs:  m.WriteResp.Mean(),
 	}
@@ -66,9 +81,13 @@ func (r *RAID) Metrics() Snapshot {
 // column).
 type MEMS struct {
 	Raw *mems.Device
+	// frees counts completed free notifications (MEMS media writes in
+	// place; the wrapper keeps the Snapshot field uniform).
+	frees int64
 }
 
-// NewMEMS builds a device on a fresh engine.
+// NewMEMS builds a device on a fresh engine. Prefer Open or Build; this
+// remains for callers holding a raw mems.Config.
 func NewMEMS(cfg mems.Config) (*MEMS, error) {
 	d, err := mems.New(sim.NewEngine(), cfg)
 	if err != nil {
@@ -80,22 +99,32 @@ func NewMEMS(cfg mems.Config) (*MEMS, error) {
 // Submit implements Device.
 func (m *MEMS) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	var cb func(*mems.Request)
-	if onDone != nil {
-		cb = func(q *mems.Request) { onDone(q.Response(), nil) }
+	if isFree := op.Kind == trace.Free; isFree || onDone != nil {
+		cb = func(q *mems.Request) {
+			if isFree {
+				m.frees++
+			}
+			if onDone != nil {
+				onDone(q.Response(), nil)
+			}
+		}
 	}
 	return m.Raw.Submit(op, cb)
 }
 
 // Free implements Device: MEMS media writes in place; the request
-// completes as a metadata no-op.
-func (m *MEMS) Free(off, size int64) error { return m.Raw.Submit(freeOp(off, size), nil) }
+// completes as a metadata no-op (and is counted in Snapshot.Frees).
+func (m *MEMS) Free(off, size int64) error { return m.Submit(freeOp(off, size), nil) }
+
+// Drive implements Device.
+func (m *MEMS) Drive(st trace.Stream) error { return drive(m, st) }
 
 // Play implements Device.
-func (m *MEMS) Play(ops []trace.Op) error { return m.Raw.Play(ops) }
+func (m *MEMS) Play(ops []trace.Op) error { return drive(m, trace.FromSlice(ops)) }
 
 // ClosedLoop implements Device.
 func (m *MEMS) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
-	return m.Raw.ClosedLoop(depth, gen)
+	return closedLoop(m, depth, gen)
 }
 
 // Engine implements Device.
@@ -111,6 +140,7 @@ func (m *MEMS) Metrics() Snapshot {
 		Completed:    mm.Completed,
 		BytesRead:    mm.BytesRead,
 		BytesWritten: mm.BytesWritten,
+		Frees:        m.frees,
 		MeanReadMs:   mm.ReadResp.Mean(),
 		MeanWriteMs:  mm.WriteResp.Mean(),
 	}

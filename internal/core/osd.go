@@ -85,8 +85,11 @@ func (o *OSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 // the FTL drops the backing pages.
 func (o *OSD) Free(off, size int64) error { return o.Store.FreeRange(o.vol, off, size, nil) }
 
+// Drive implements Device.
+func (o *OSD) Drive(st trace.Stream) error { return drive(o, st) }
+
 // Play implements Device.
-func (o *OSD) Play(ops []trace.Op) error { return playOps(o, ops) }
+func (o *OSD) Play(ops []trace.Op) error { return drive(o, trace.FromSlice(ops)) }
 
 // ClosedLoop implements Device.
 func (o *OSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -104,49 +107,3 @@ func (o *OSD) LogicalBytes() int64 { return o.bytes }
 func (o *OSD) Metrics() Snapshot { return ssdSnapshot(o.Raw.Metrics()) }
 
 var _ Device = (*OSD)(nil)
-
-// playOps is trace replay for devices composed from parts that only
-// expose Submit: every op is scheduled at its trace timestamp and the
-// engine runs until the device drains. Mirrors the replay loops the raw
-// models implement natively.
-func playOps(d Device, ops []trace.Op) error {
-	eng := d.Engine()
-	var firstErr error
-	for _, op := range ops {
-		op := op
-		eng.At(op.At, func() {
-			if err := d.Submit(op, nil); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		})
-	}
-	eng.Run()
-	return firstErr
-}
-
-// closedLoop keeps depth requests outstanding, drawing operations from
-// gen until it returns false; each op's At field is ignored.
-func closedLoop(d Device, depth int, gen func(i int) (trace.Op, bool)) error {
-	if depth <= 0 {
-		depth = 1
-	}
-	eng := d.Engine()
-	var firstErr error
-	i := 0
-	var issue func()
-	issue = func() {
-		op, ok := gen(i)
-		if !ok {
-			return
-		}
-		i++
-		if err := d.Submit(op, func(sim.Time, error) { issue() }); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	for k := 0; k < depth; k++ {
-		issue()
-	}
-	eng.Run()
-	return firstErr
-}

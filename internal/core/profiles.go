@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"ossd/internal/flash"
 	"ossd/internal/hdd"
 	"ossd/internal/mems"
@@ -70,6 +68,10 @@ type Profile struct {
 	// their firmware is designed for (e.g. deep NCQ write queues on
 	// high-end parts).
 	SeqReadDepth, RandReadDepth, SeqWriteDepth, RandWriteDepth int
+	// Seed is the profile's default measurement seed: metadata for
+	// callers that look it up via ProfileByName (zero means unset; no
+	// built-in profile sets one).
+	Seed int64
 }
 
 // NewDevice instantiates the profile's device on a fresh engine.
@@ -200,14 +202,30 @@ func Profiles() []Profile {
 	}
 }
 
-// ExtendedProfiles returns the Table 2 set plus the other Table 1 device
-// classes (MEMS, RAID) and the object-fronted SSD, so every substrate is
-// reachable by name from the tools. Table 2 itself keeps using
-// Profiles(): the paper characterizes only the disk and the SSDs there.
-func ExtendedProfiles() []Profile {
-	out := Profiles()
+// BaseSSDConfig is the generic small flash device behind the "ssd" and
+// "osd" base profiles (and the examples and benchmarks): 8 interleaved
+// packages, 4 KB pages, SWTF dispatch, cleaning watermarks at 5%/2%.
+func BaseSSDConfig() ssd.Config {
+	return ssd.Config{
+		Elements:      8,
+		Geom:          geom(64),
+		Overprovision: 0.10,
+		Layout:        ssd.Interleaved,
+		Scheduler:     sched.SWTF,
+		CtrlOverhead:  10 * sim.Microsecond,
+		GCLow:         0.05, GCCritical: 0.02,
+	}
+}
+
+// init populates the registry: the Table 2 set, the extended Table 1
+// classes, and a generic base profile per media kind so Open("ssd") and
+// friends always resolve.
+func init() {
+	for _, p := range Profiles() {
+		mustRegister(p)
+	}
 	var s4 ssd.Config
-	for _, p := range out {
+	for _, p := range Profiles() {
 		if p.Name == "S4slc_sim" {
 			s4 = p.SSD
 		}
@@ -215,41 +233,71 @@ func ExtendedProfiles() []Profile {
 	// The object front exists to carry allocation knowledge to the FTL
 	// (§3.5): its device runs with informed cleaning on.
 	s4.Informed = true
-	out = append(out,
-		Profile{
-			Name:        "MEMS",
-			Description: "MEMS storage (Schlosser & Ganger's G2)",
-			Kind:        KindMEMS,
-			MEMS:        DefaultMEMS(),
-			SeqReqBytes: 1 << 20, RandReqBytes: 4096,
-			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
-		},
-		Profile{
-			Name:        "RAID",
-			Description: "RAID-5 array of five Barracuda-class spindles",
-			Kind:        KindRAID,
-			RAID:        DefaultRAID(),
-			SeqReqBytes: 1 << 20, RandReqBytes: 4096,
-			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
-		},
-		Profile{
-			Name:        "OSD",
-			Description: "object-fronted S4-class SSD (block ops via the object store)",
-			Kind:        KindOSD,
-			SSD:         s4,
-			SeqReqBytes: 4096, RandReqBytes: 4096,
-			SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 2, RandWriteDepth: 2,
-		},
-	)
-	return out
-}
-
-// ProfileByName looks a profile up across the extended set.
-func ProfileByName(name string) (Profile, error) {
-	for _, p := range ExtendedProfiles() {
-		if p.Name == name {
-			return p, nil
-		}
-	}
-	return Profile{}, fmt.Errorf("core: unknown profile %q", name)
+	mustRegister(Profile{
+		Name:        "MEMS",
+		Description: "MEMS storage (Schlosser & Ganger's G2)",
+		Kind:        KindMEMS,
+		MEMS:        DefaultMEMS(),
+		SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+	})
+	mustRegister(Profile{
+		Name:        "RAID",
+		Description: "RAID-5 array of five Barracuda-class spindles",
+		Kind:        KindRAID,
+		RAID:        DefaultRAID(),
+		SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+	})
+	mustRegister(Profile{
+		Name:        "OSD",
+		Description: "object-fronted S4-class SSD (block ops via the object store)",
+		Kind:        KindOSD,
+		SSD:         s4,
+		SeqReqBytes: 4096, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 2, RandWriteDepth: 2,
+	})
+	// Generic per-kind bases: the starting point for option-built devices.
+	mustRegister(Profile{
+		Name:        "ssd",
+		Description: "generic small SSD (base profile for option-built devices)",
+		Kind:        KindSSD,
+		SSD:         BaseSSDConfig(),
+		SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+	})
+	mustRegister(Profile{
+		Name:        "hdd",
+		Description: "generic Barracuda-class disk (base profile)",
+		Kind:        KindHDD,
+		HDD:         hdd.Barracuda7200(),
+		SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+	})
+	mustRegister(Profile{
+		Name:        "mems",
+		Description: "generic G2 MEMS device (base profile)",
+		Kind:        KindMEMS,
+		MEMS:        DefaultMEMS(),
+		SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+	})
+	mustRegister(Profile{
+		Name:        "raid",
+		Description: "generic five-spindle RAID-5 array (base profile)",
+		Kind:        KindRAID,
+		RAID:        DefaultRAID(),
+		SeqReqBytes: 1 << 20, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 1, RandWriteDepth: 1,
+	})
+	osdBase := BaseSSDConfig()
+	osdBase.Informed = true
+	mustRegister(Profile{
+		Name:        "osd",
+		Description: "generic object-fronted SSD (base profile)",
+		Kind:        KindOSD,
+		SSD:         osdBase,
+		SeqReqBytes: 4096, RandReqBytes: 4096,
+		SeqReadDepth: 1, RandReadDepth: 1, SeqWriteDepth: 2, RandWriteDepth: 2,
+	})
 }

@@ -68,14 +68,8 @@ func contractClasses() []deviceClass {
 	passive := func(core.Device, int64) (int64, int64, error) { return 0, 0, nil }
 	return []deviceClass{
 		{
-			name: "Disk",
-			mk: func() (core.Device, error) {
-				p, err := core.ProfileByName("HDD")
-				if err != nil {
-					return nil, err
-				}
-				return p.NewDevice()
-			},
+			name:   "Disk",
+			mk:     func() (core.Device, error) { return core.Open("HDD") },
 			seqReq: 1 << 20,
 			writeAmp: func(d core.Device, seed int64) (float64, error) {
 				return 1, nil // one platter write per host write
@@ -84,7 +78,7 @@ func contractClasses() []deviceClass {
 		},
 		{
 			name:   "RAID",
-			mk:     func() (core.Device, error) { return core.NewRAID(core.DefaultRAID()) },
+			mk:     func() (core.Device, error) { return core.Open("RAID") },
 			seqReq: 1 << 20,
 			writeAmp: func(d core.Device, seed int64) (float64, error) {
 				r := d.(*core.RAID)
@@ -97,7 +91,7 @@ func contractClasses() []deviceClass {
 		},
 		{
 			name:   "MEMS",
-			mk:     func() (core.Device, error) { return core.NewMEMS(core.DefaultMEMS()) },
+			mk:     func() (core.Device, error) { return core.Open("MEMS") },
 			seqReq: 1 << 20,
 			writeAmp: func(d core.Device, seed int64) (float64, error) {
 				return 1, nil // in-place media writes
@@ -107,11 +101,7 @@ func contractClasses() []deviceClass {
 		{
 			name: "SSD",
 			mk: func() (core.Device, error) {
-				p, err := core.ProfileByName("S4slc_sim")
-				if err != nil {
-					return nil, err
-				}
-				d, err := p.NewDevice()
+				d, err := core.Open("S4slc_sim")
 				if err != nil {
 					return nil, err
 				}

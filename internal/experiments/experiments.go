@@ -23,10 +23,11 @@ type Result interface {
 	String() string
 }
 
-// preconditioned builds a profile device and writes it end-to-end so
-// measurements run against a fully-mapped, steady-state device.
+// preconditioned builds a profile device through the registry and
+// writes it end-to-end so measurements run against a fully-mapped,
+// steady-state device.
 func preconditioned(p core.Profile) (core.Device, error) {
-	d, err := p.NewDevice()
+	d, err := core.Build(p)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
 	"ossd/internal/stats"
+	"ossd/internal/trace"
 	"ossd/internal/workload"
 )
 
@@ -72,16 +73,22 @@ func (o *Figure3Options) defaults() {
 // figure3Device builds the scaled 32 GB-class device with the paper's
 // watermarks (low 5%, critical 2%).
 func figure3Device(aware bool) (*core.SSD, error) {
-	return core.NewSSD(ssd.Config{
-		Elements:      16,
-		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 96},
-		Overprovision: 0.10,
-		Layout:        ssd.Interleaved,
-		Scheduler:     sched.SWTF,
-		CtrlOverhead:  10 * sim.Microsecond,
-		GCLow:         0.05, GCCritical: 0.02,
-		PriorityAware: aware,
-	})
+	d, err := core.Open("ssd",
+		core.WithSSD(ssd.Config{
+			Elements:      16,
+			Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 96},
+			Overprovision: 0.10,
+			Layout:        ssd.Interleaved,
+			Scheduler:     sched.SWTF,
+			CtrlOverhead:  10 * sim.Microsecond,
+			GCLow:         0.05, GCCritical: 0.02,
+		}),
+		core.WithPriorityAware(aware),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return d.(*core.SSD), nil
 }
 
 // figure3Point is one (write percentage, policy) simulation's output.
@@ -112,7 +119,7 @@ func Figure3(opts Figure3Options) (Figure3Result, error) {
 				return pt, err
 			}
 		}
-		ops, err := workload.Synthetic(workload.SyntheticConfig{
+		stream, err := workload.Synthetic(workload.SyntheticConfig{
 			Ops:            opts.Ops,
 			AddressSpace:   int64(float64(d.LogicalBytes()) * 0.75),
 			ReadFrac:       1 - float64(wp)/100,
@@ -126,10 +133,7 @@ func Figure3(opts Figure3Options) (Figure3Result, error) {
 			return pt, err
 		}
 		base := d.Engine().Now()
-		for i := range ops {
-			ops[i].At += base
-		}
-		if err := d.Play(ops); err != nil {
+		if err := d.Drive(trace.Shift(stream, base)); err != nil {
 			return pt, err
 		}
 		m := d.Raw.Metrics()

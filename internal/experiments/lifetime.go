@@ -56,7 +56,11 @@ func lifetimeDevice(budget int, wearAware bool, mlc bool) (*core.SSD, error) {
 	if mlc {
 		cfg.Timing = flash.TimingFor(flash.MLC)
 	}
-	return core.NewSSD(cfg)
+	d, err := core.Open("ssd", core.WithSSD(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return d.(*core.SSD), nil
 }
 
 // writeUntilWearOut drives 90/10-skewed random writes and returns host MB

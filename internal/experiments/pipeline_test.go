@@ -41,7 +41,7 @@ func TestPipelinePostmarkInformedDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ops, err := workload.Postmark(workload.PostmarkConfig{
+	stream, err := workload.Postmark(workload.PostmarkConfig{
 		Transactions:     3000,
 		InitialFiles:     200,
 		CapacityBytes:    dev.LogicalBytes() / 2,
@@ -51,13 +51,13 @@ func TestPipelinePostmarkInformedDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aligned, err := trace.AlignWith(ops, 32<<10, trace.AlignOptions{
+	aligned, err := trace.AlignStream(stream, 32<<10, trace.AlignOptions{
 		MaxGap: 5 * sim.Millisecond, ReadBarrier: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dev.Play(aligned); err != nil {
+	if err := dev.Drive(aligned); err != nil {
 		t.Fatal(err)
 	}
 	m := dev.Raw.Metrics()

@@ -51,18 +51,21 @@ func Schemes(seed int64, workers int) (SchemesResult, error) {
 	var res SchemesResult
 	measure := func(s ftl.Scheme) (schemesPoint, error) {
 		var pt schemesPoint
-		d, err := core.NewSSD(ssd.Config{
-			Elements:      8,
-			Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
-			Overprovision: 0.10,
-			Layout:        ssd.Interleaved,
-			Scheduler:     sched.SWTF,
-			CtrlOverhead:  10 * sim.Microsecond,
-			Scheme:        s,
-		})
+		dev, err := core.Open("ssd",
+			core.WithSSD(ssd.Config{
+				Elements:      8,
+				Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+				Overprovision: 0.10,
+				Layout:        ssd.Interleaved,
+				Scheduler:     sched.SWTF,
+				CtrlOverhead:  10 * sim.Microsecond,
+			}),
+			core.WithScheme(s),
+		)
 		if err != nil {
 			return pt, err
 		}
+		d := dev.(*core.SSD)
 		if err := core.PreconditionFrac(d, 1<<20, 0.7); err != nil {
 			return pt, err
 		}

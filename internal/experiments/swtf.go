@@ -6,6 +6,7 @@ import (
 	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/stats"
+	"ossd/internal/trace"
 	"ossd/internal/workload"
 )
 
@@ -54,13 +55,11 @@ func (o *SWTFOptions) defaults() {
 }
 
 func swtfDevice(policy sched.Policy) (*core.SSD, error) {
-	p, err := core.ProfileByName("S4slc_sim")
+	d, err := core.Open("S4slc_sim", core.WithScheduler(policy))
 	if err != nil {
 		return nil, err
 	}
-	cfg := p.SSD
-	cfg.Scheduler = policy
-	return core.NewSSD(cfg)
+	return d.(*core.SSD), nil
 }
 
 // SWTF runs the comparison: identical trace, fresh preconditioned device
@@ -79,7 +78,7 @@ func SWTF(opts SWTFOptions) (SWTFResult, error) {
 		if err := core.PreconditionFrac(d, 1<<20, 0.7); err != nil {
 			return 0, err
 		}
-		ops, err := workload.Synthetic(workload.SyntheticConfig{
+		stream, err := workload.Synthetic(workload.SyntheticConfig{
 			Ops:            opts.Ops,
 			AddressSpace:   int64(float64(d.LogicalBytes()) * 0.7),
 			ReadFrac:       2.0 / 3,
@@ -92,11 +91,7 @@ func SWTF(opts SWTFOptions) (SWTFResult, error) {
 			return 0, err
 		}
 		// Offset timestamps past the precondition window.
-		base := d.Engine().Now()
-		for i := range ops {
-			ops[i].At += base
-		}
-		if err := d.Play(ops); err != nil {
+		if err := d.Drive(trace.Shift(stream, d.Engine().Now())); err != nil {
 			return 0, err
 		}
 		m := d.Raw.Metrics()

@@ -47,7 +47,7 @@ func (r Table3Result) String() string {
 // table3Device builds the scaled Table 3 configuration: 8 packages,
 // 32 KB logical page striped across the gang.
 func table3Device() (*core.SSD, error) {
-	return core.NewSSD(ssd.Config{
+	d, err := core.Open("ssd", core.WithSSD(ssd.Config{
 		Elements:      8,
 		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 128},
 		Overprovision: 0.10,
@@ -56,7 +56,11 @@ func table3Device() (*core.SSD, error) {
 		StripeBytes:   32 << 10,
 		CtrlOverhead:  20 * sim.Microsecond,
 		GCLow:         0.05, GCCritical: 0.02,
-	})
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return d.(*core.SSD), nil
 }
 
 // Table3Options tunes the experiment.
@@ -85,8 +89,10 @@ func (o *Table3Options) defaults() {
 // table3Run replays one write stream on a fresh 60%-preconditioned
 // device and returns the mean write response over the replayed window
 // only (moderate utilization, so cleaning cost reflects a working
-// device, not a pathological full one).
-func table3Run(stream []trace.Op) (float64, error) {
+// device, not a pathological full one). mk builds the stream after
+// preconditioning, so the whole pipeline — generation, alignment,
+// replay — runs at constant memory.
+func table3Run(mk func() (trace.Stream, error)) (float64, error) {
 	d, err := table3Device()
 	if err != nil {
 		return 0, err
@@ -94,15 +100,13 @@ func table3Run(stream []trace.Op) (float64, error) {
 	if err := core.PreconditionFrac(d, 1<<20, 0.6); err != nil {
 		return 0, err
 	}
-	base := d.Engine().Now()
-	shifted := make([]trace.Op, len(stream))
-	copy(shifted, stream)
-	for i := range shifted {
-		shifted[i].At += base
+	stream, err := mk()
+	if err != nil {
+		return 0, err
 	}
 	// Measure only the trace's writes: snapshot before.
 	before := d.Raw.Metrics().WriteResp
-	if err := d.Play(shifted); err != nil {
+	if err := d.Drive(trace.Shift(stream, d.Engine().Now())); err != nil {
 		return 0, err
 	}
 	after := d.Raw.Metrics().WriteResp
@@ -115,8 +119,9 @@ func table3Run(stream []trace.Op) (float64, error) {
 	return total / float64(n), nil
 }
 
-// Table3 runs both schemes at each sequentiality: workload generation is
-// cheap and stays inline; the ten replays fan out as specs.
+// Table3 runs both schemes at each sequentiality. Each spec regenerates
+// its own workload stream from the seed (streams are single-use), so the
+// two replays of a point stay byte-equal without sharing a slice.
 func Table3(opts Table3Options) (Table3Result, error) {
 	opts.defaults()
 	res := Table3Result{SeqProbs: []float64{0, 0.2, 0.4, 0.6, 0.8}}
@@ -127,7 +132,7 @@ func Table3(opts Table3Options) (Table3Result, error) {
 	space := int64(float64(probe.LogicalBytes()) * 0.6)
 	var specs []runner.Spec[float64]
 	for _, p := range res.SeqProbs {
-		ops, err := workload.Synthetic(workload.SyntheticConfig{
+		cfg := workload.SyntheticConfig{
 			Ops:            opts.Ops,
 			AddressSpace:   space,
 			ReadFrac:       0,
@@ -136,24 +141,26 @@ func Table3(opts Table3Options) (Table3Result, error) {
 			InterarrivalLo: 0,
 			InterarrivalHi: 2 * opts.MeanInterarrival,
 			Seed:           opts.Seed + int64(p*100),
-		})
-		if err != nil {
-			return res, err
-		}
-		aligned, err := trace.Align(ops, 32<<10)
-		if err != nil {
-			return res, err
 		}
 		for _, v := range []struct {
-			label  string
-			stream []trace.Op
-		}{{"unaligned", ops}, {"aligned", aligned}} {
+			label string
+			mk    func() (trace.Stream, error)
+		}{
+			{"unaligned", func() (trace.Stream, error) { return workload.Synthetic(cfg) }},
+			{"aligned", func() (trace.Stream, error) {
+				s, err := workload.Synthetic(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return trace.AlignStream(s, 32<<10, trace.AlignOptions{})
+			}},
+		} {
 			v := v
 			specs = append(specs, runner.Spec[float64]{
 				Name:     fmt.Sprintf("table3/p%.1f/%s", p, v.label),
 				Workload: v.label,
 				Seed:     opts.Seed,
-				Run:      func() (float64, error) { return table3Run(v.stream) },
+				Run:      func() (float64, error) { return table3Run(v.mk) },
 			})
 		}
 	}

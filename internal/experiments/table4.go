@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"ossd/internal/core"
 	"ossd/internal/runner"
 	"ossd/internal/sim"
@@ -63,9 +61,9 @@ func Table4(opts Table4Options) (Table4Result, error) {
 	n := func(base int) int { return int(float64(base) * opts.Scale) }
 	gens := []struct {
 		name string
-		gen  func() ([]trace.Op, error)
+		gen  func() (trace.Stream, error)
 	}{
-		{"Postmark", func() ([]trace.Op, error) {
+		{"Postmark", func() (trace.Stream, error) {
 			return workload.Postmark(workload.PostmarkConfig{
 				Transactions:     n(12000),
 				InitialFiles:     300,
@@ -74,7 +72,7 @@ func Table4(opts Table4Options) (Table4Result, error) {
 				Seed:             opts.Seed + 1,
 			})
 		}},
-		{"TPCC", func() ([]trace.Op, error) {
+		{"TPCC", func() (trace.Stream, error) {
 			return workload.TPCC(workload.OLTPConfig{
 				Ops:              n(15000),
 				CapacityBytes:    space,
@@ -83,7 +81,7 @@ func Table4(opts Table4Options) (Table4Result, error) {
 				Seed:             opts.Seed + 2,
 			})
 		}},
-		{"Exchange", func() ([]trace.Op, error) {
+		{"Exchange", func() (trace.Stream, error) {
 			return workload.Exchange(workload.ExchangeConfig{
 				Ops:              n(15000),
 				CapacityBytes:    space,
@@ -92,7 +90,7 @@ func Table4(opts Table4Options) (Table4Result, error) {
 				Seed:             opts.Seed + 3,
 			})
 		}},
-		{"IOzone", func() ([]trace.Op, error) {
+		{"IOzone", func() (trace.Stream, error) {
 			return workload.IOzone(workload.IOzoneConfig{
 				FileBytes:        int64(float64(space) * 0.6),
 				RecordBytes:      128 << 10,
@@ -114,32 +112,32 @@ func Table4(opts Table4Options) (Table4Result, error) {
 	}
 	var specs []runner.Spec[float64]
 	for _, g := range gens {
-		ops, err := g.gen()
-		if err != nil {
-			return res, fmt.Errorf("%s: %w", g.name, err)
+		// Streams are single-use: each spec regenerates its workload from
+		// the seed, and the aligned variant wraps it in the streaming
+		// merge-and-align pass. The merging scheme models a real write
+		// buffer: a short hold window and a read barrier, so merging
+		// exploits only genuine temporal contiguity.
+		gen := g.gen
+		alignedGen := func() (trace.Stream, error) {
+			s, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			return trace.AlignStream(s, 32<<10, trace.AlignOptions{
+				MaxGap:      6 * sim.Millisecond,
+				ReadBarrier: true,
+			})
 		}
-		// The merging scheme models a real write buffer: a short hold
-		// window and a read barrier, so merging exploits only genuine
-		// temporal contiguity.
-		aligned, err := trace.AlignWith(ops, 32<<10, trace.AlignOptions{
-			MaxGap:      6 * sim.Millisecond,
-			ReadBarrier: true,
-		})
-		if err != nil {
-			return res, err
-		}
-		// The two replays read the same trace slices concurrently; each
-		// spec copies before shifting timestamps.
 		for _, v := range []struct {
-			label  string
-			stream []trace.Op
-		}{{"unaligned", ops}, {"aligned", aligned}} {
+			label string
+			mk    func() (trace.Stream, error)
+		}{{"unaligned", gen}, {"aligned", alignedGen}} {
 			v := v
 			specs = append(specs, runner.Spec[float64]{
 				Name:     g.name + "/" + v.label,
 				Workload: g.name,
 				Seed:     opts.Seed,
-				Run:      func() (float64, error) { return playMeanWriteShifted(mk, v.stream) },
+				Run:      func() (float64, error) { return driveMeanWriteShifted(mk, v.mk) },
 			})
 		}
 	}
@@ -157,19 +155,17 @@ func Table4(opts Table4Options) (Table4Result, error) {
 	return res, nil
 }
 
-// playMeanWriteShifted replays a trace (timestamps shifted past the
-// device's current clock) and returns the mean write response over the
-// replayed window only.
-func playMeanWriteShifted(mk func() (core.Device, error), ops []trace.Op) (float64, error) {
+// driveMeanWriteShifted drives a freshly generated stream (timestamps
+// shifted past the device's current clock) and returns the mean write
+// response over the driven window only.
+func driveMeanWriteShifted(mk func() (core.Device, error), mkStream func() (trace.Stream, error)) (float64, error) {
 	d, err := mk()
 	if err != nil {
 		return 0, err
 	}
-	base := d.Engine().Now()
-	shifted := make([]trace.Op, len(ops))
-	copy(shifted, ops)
-	for i := range shifted {
-		shifted[i].At += base
+	stream, err := mkStream()
+	if err != nil {
+		return 0, err
 	}
 	sd, isSSD := d.(*core.SSD)
 	var beforeN uint64
@@ -178,7 +174,7 @@ func playMeanWriteShifted(mk func() (core.Device, error), ops []trace.Op) (float
 		w := sd.Raw.Metrics().WriteResp
 		beforeN, beforeTotal = w.N(), w.Mean()*float64(w.N())
 	}
-	if err := d.Play(shifted); err != nil {
+	if err := d.Drive(trace.Shift(stream, d.Engine().Now())); err != nil {
 		return 0, err
 	}
 	if isSSD {

@@ -61,16 +61,22 @@ func (o *Table5Options) defaults() {
 // table5Device builds the scaled 8 GB-class device: interleaved mapping,
 // cleaning watermarks per the paper.
 func table5Device(informed bool) (*core.SSD, error) {
-	return core.NewSSD(ssd.Config{
-		Elements:      4,
-		Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
-		Overprovision: 0.12,
-		Layout:        ssd.Interleaved,
-		Scheduler:     sched.SWTF,
-		CtrlOverhead:  10 * sim.Microsecond,
-		GCLow:         0.05, GCCritical: 0.02,
-		Informed: informed,
-	})
+	d, err := core.Open("ssd",
+		core.WithSSD(ssd.Config{
+			Elements:      4,
+			Geom:          flash.Geometry{PageSize: 4096, PagesPerBlock: 64, BlocksPerPackage: 64},
+			Overprovision: 0.12,
+			Layout:        ssd.Interleaved,
+			Scheduler:     sched.SWTF,
+			CtrlOverhead:  10 * sim.Microsecond,
+			GCLow:         0.05, GCCritical: 0.02,
+		}),
+		core.WithInformed(informed),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return d.(*core.SSD), nil
 }
 
 // Table5 replays each Postmark trace on a default and an informed device
@@ -88,7 +94,10 @@ func Table5(opts Table5Options) (Table5Result, error) {
 		// Pre-fill the file system to ~70% so churn happens against a
 		// mostly-full device, the regime where cleaning matters; the
 		// paper's 8 GB SSD ran Postmark against a comparably full ext3.
-		ops, err := workload.Postmark(workload.PostmarkConfig{
+		// Each spec streams its own Postmark run from the shared seed, so
+		// the default and informed devices replay identical traces
+		// without ever materializing them.
+		cfg := workload.PostmarkConfig{
 			Transactions:     tx,
 			InitialFiles:     1150,
 			FileSizeMin:      4 << 10,
@@ -96,9 +105,6 @@ func Table5(opts Table5Options) (Table5Result, error) {
 			CapacityBytes:    space,
 			MeanInterarrival: 200 * sim.Microsecond,
 			Seed:             opts.Seed + int64(tx),
-		})
-		if err != nil {
-			return res, err
 		}
 		for _, informed := range []bool{false, true} {
 			informed := informed
@@ -111,7 +117,11 @@ func Table5(opts Table5Options) (Table5Result, error) {
 					if err != nil {
 						return ssd.GCStats{}, err
 					}
-					if err := d.Play(ops); err != nil {
+					stream, err := workload.Postmark(cfg)
+					if err != nil {
+						return ssd.GCStats{}, err
+					}
+					if err := d.Drive(stream); err != nil {
 						return ssd.GCStats{}, err
 					}
 					return d.Raw.GCStats(), nil

@@ -187,7 +187,75 @@ func (a *Aligner) flush() {
 // aligner is reusable afterwards.
 func (a *Aligner) Finish() []Op {
 	a.flush()
+	return a.take()
+}
+
+// take hands the accumulated output to the caller and resets it.
+func (a *Aligner) take() []Op {
 	out := a.out
 	a.out = nil
 	return out
+}
+
+// alignStream runs an Aligner incrementally over a source stream. The
+// only state beyond the source is the aligner's single pending range and
+// the handful of ops the last push emitted.
+type alignStream struct {
+	src  Stream
+	a    *Aligner
+	buf  []Op
+	pos  int
+	err  error
+	done bool
+}
+
+func (s *alignStream) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return Err(s.src)
+}
+
+func (s *alignStream) Next() (Op, bool) {
+	for {
+		if s.pos < len(s.buf) {
+			op := s.buf[s.pos]
+			s.pos++
+			return op, true
+		}
+		if s.done {
+			return Op{}, false
+		}
+		s.pos = 0
+		op, ok := s.src.Next()
+		if !ok {
+			s.done = true
+			if Err(s.src) != nil {
+				// The source failed mid-stream: discard the buffered
+				// writes rather than emitting them as a clean ending.
+				s.buf = nil
+				return Op{}, false
+			}
+			s.buf = s.a.Finish()
+			continue
+		}
+		if err := s.a.Push(op); err != nil {
+			s.err = err
+			s.done = true
+			s.buf = nil
+			return Op{}, false
+		}
+		s.buf = s.a.take()
+	}
+}
+
+// AlignStream applies the merge-and-align pass to a stream, emitting
+// transformed operations as soon as the buffer releases them — the
+// paper's in-device write buffer as a stream combinator.
+func AlignStream(s Stream, stripe int64, opts AlignOptions) (Stream, error) {
+	a, err := NewAlignerOpts(stripe, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &alignStream{src: s, a: a}, nil
 }

@@ -24,6 +24,28 @@ func ExampleAlign() {
 	// Output: 8 ops in, 1 out: 32768 bytes at offset 0
 }
 
+// ExampleStream shows the pull-based workload pipeline: a stream built
+// from combinators, transformed by the streaming aligner, and drained at
+// constant memory while Tally gathers statistics.
+func ExampleStream() {
+	var ops []trace.Op
+	for i := int64(0); i < 16; i++ {
+		ops = append(ops, trace.Op{Kind: trace.Write, Offset: i * 4096, Size: 4096})
+	}
+	s, err := trace.AlignStream(trace.Limit(trace.FromSlice(ops), 8), 32<<10, trace.AlignOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var st trace.Stats
+	out := trace.Collect(trace.Tally(s, &st))
+	fmt.Printf("%d ops out, %d bytes written\n", st.Ops, st.WriteBytes)
+	fmt.Printf("first: %v bytes at offset %d\n", out[0].Size, out[0].Offset)
+	// Output:
+	// 1 ops out, 32768 bytes written
+	// first: 32768 bytes at offset 0
+}
+
 // ExampleEncode shows the text trace format.
 func ExampleEncode() {
 	ops := []trace.Op{

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"container/heap"
+
+	"ossd/internal/sim"
+)
+
+// Stream is a pull-based iterator over trace operations: the canonical
+// workload currency. Generators produce Streams, devices consume them
+// (core.Device.Drive), and combinators compose them — so a million-op
+// workload flows through the system one Op at a time instead of as a
+// materialized slice.
+//
+// Next returns the next operation and true, or a zero Op and false once
+// the stream is exhausted. After false, further calls keep returning
+// false. Streams are single-use and not safe for concurrent use.
+//
+// A stream that can fail mid-iteration (a decoder reading a file, a
+// validating transform) additionally implements ErrStream; consumers that
+// drain a stream should check Err afterwards.
+type Stream interface {
+	Next() (Op, bool)
+}
+
+// ErrStream is implemented by streams whose iteration can fail. Next
+// returning false may mean exhaustion or error; Err distinguishes the
+// two. Err is meaningful once Next has returned false.
+type ErrStream interface {
+	Stream
+	// Err returns the first error the stream hit, or nil.
+	Err() error
+}
+
+// Err returns s's iteration error, if s tracks one (see ErrStream), and
+// nil otherwise. Combinators propagate Err from their sources, so
+// checking the outermost stream is sufficient.
+func Err(s Stream) error {
+	if es, ok := s.(ErrStream); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// Func adapts a closure to a Stream.
+type Func func() (Op, bool)
+
+// Next implements Stream.
+func (f Func) Next() (Op, bool) { return f() }
+
+// sliceStream iterates over a materialized trace.
+type sliceStream struct {
+	ops []Op
+	i   int
+}
+
+func (s *sliceStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+// FromSlice returns a Stream over ops. The slice is not copied; it must
+// not be mutated while the stream is live.
+func FromSlice(ops []Op) Stream { return &sliceStream{ops: ops} }
+
+// Collect drains a stream into a slice: the bridge back to the legacy
+// slice-based API. It materializes the whole stream — use it only where
+// the trace is known to be small or a slice is genuinely required.
+func Collect(s Stream) []Op {
+	var ops []Op
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+// limitStream caps a stream at n operations.
+type limitStream struct {
+	src  Stream
+	left int
+}
+
+func (l *limitStream) Next() (Op, bool) {
+	if l.left <= 0 {
+		return Op{}, false
+	}
+	op, ok := l.src.Next()
+	if !ok {
+		l.left = 0
+		return Op{}, false
+	}
+	l.left--
+	return op, true
+}
+
+func (l *limitStream) Err() error { return Err(l.src) }
+
+// Limit returns a stream that yields at most n operations from s.
+func Limit(s Stream, n int) Stream { return &limitStream{src: s, left: n} }
+
+// shiftStream offsets every timestamp by a fixed delta.
+type shiftStream struct {
+	src   Stream
+	delta sim.Time
+}
+
+func (s *shiftStream) Next() (Op, bool) {
+	op, ok := s.src.Next()
+	if !ok {
+		return Op{}, false
+	}
+	op.At += s.delta
+	return op, true
+}
+
+func (s *shiftStream) Err() error { return Err(s.src) }
+
+// Shift returns a stream whose timestamps are offset by delta — the
+// streaming form of "shift the trace past the preconditioning window".
+func Shift(s Stream, delta sim.Time) Stream { return &shiftStream{src: s, delta: delta} }
+
+// mergeHead is one source's buffered head in a merge.
+type mergeHead struct {
+	op  Op
+	src int // index into merge.srcs; breaks timestamp ties stably
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].op.At != h[j].op.At {
+		return h[i].op.At < h[j].op.At
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// mergeStream interleaves timestamp-ordered sources into one
+// timestamp-ordered stream, holding one buffered op per source.
+type mergeStream struct {
+	srcs  []Stream
+	heads mergeHeap
+	init  bool
+}
+
+func (m *mergeStream) Next() (Op, bool) {
+	if !m.init {
+		m.init = true
+		for i, s := range m.srcs {
+			if op, ok := s.Next(); ok {
+				m.heads = append(m.heads, mergeHead{op: op, src: i})
+			}
+		}
+		heap.Init(&m.heads)
+	}
+	if len(m.heads) == 0 {
+		return Op{}, false
+	}
+	head := m.heads[0]
+	if op, ok := m.srcs[head.src].Next(); ok {
+		m.heads[0] = mergeHead{op: op, src: head.src}
+		heap.Fix(&m.heads, 0)
+	} else {
+		heap.Pop(&m.heads)
+	}
+	return head.op, true
+}
+
+func (m *mergeStream) Err() error {
+	for _, s := range m.srcs {
+		if err := Err(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge interleaves timestamp-ordered streams into one timestamp-ordered
+// stream (ties go to the earlier argument). It buffers one operation per
+// source — O(len(streams)) memory regardless of stream length. Use it to
+// compose concurrent workloads, e.g. a foreground stream merged with a
+// background scan.
+func Merge(streams ...Stream) Stream { return &mergeStream{srcs: streams} }
+
+// tallyStream accumulates Stats as operations pass through.
+type tallyStream struct {
+	src Stream
+	st  *Stats
+}
+
+func (t *tallyStream) Next() (Op, bool) {
+	op, ok := t.src.Next()
+	if ok {
+		t.st.add(op)
+	}
+	return op, ok
+}
+
+func (t *tallyStream) Err() error { return Err(t.src) }
+
+// Tally returns a pass-through stream that accumulates summary statistics
+// into st as operations flow by — Summarize for pipelines that never
+// materialize the trace. st is complete once the stream is drained.
+func Tally(s Stream, st *Stats) Stream { return &tallyStream{src: s, st: st} }

@@ -90,108 +90,202 @@ type Stats struct {
 	PriorityOps int
 }
 
+// add folds one operation into the summary.
+func (s *Stats) add(o Op) {
+	s.Ops++
+	switch o.Kind {
+	case Read:
+		s.Reads++
+		s.ReadBytes += o.Size
+	case Write:
+		s.Writes++
+		s.WriteBytes += o.Size
+	case Free:
+		s.Frees++
+		s.FreedBytes += o.Size
+	}
+	if o.Priority {
+		s.PriorityOps++
+	}
+	if o.At > s.Duration {
+		s.Duration = o.At
+	}
+	if o.End() > s.MaxOffset {
+		s.MaxOffset = o.End()
+	}
+}
+
 // Summarize scans a trace.
 func Summarize(ops []Op) Stats {
 	var s Stats
-	s.Ops = len(ops)
 	for _, o := range ops {
-		switch o.Kind {
-		case Read:
-			s.Reads++
-			s.ReadBytes += o.Size
-		case Write:
-			s.Writes++
-			s.WriteBytes += o.Size
-		case Free:
-			s.Frees++
-			s.FreedBytes += o.Size
-		}
-		if o.Priority {
-			s.PriorityOps++
-		}
-		if o.At > s.Duration {
-			s.Duration = o.At
-		}
-		if o.End() > s.MaxOffset {
-			s.MaxOffset = o.End()
-		}
+		s.add(o)
 	}
 	return s
 }
 
-// Encode writes ops in the text format, one per line:
+// Encoder writes operations incrementally in the text format, one per
+// line:
 //
 //	<at_ns> <R|W|F> <offset> <size> [P]
-func Encode(w io.Writer, ops []Op) error {
-	bw := bufio.NewWriter(w)
-	for _, o := range ops {
-		if err := o.Validate(); err != nil {
-			return err
-		}
-		pri := ""
-		if o.Priority {
-			pri = " P"
-		}
-		if _, err := fmt.Fprintf(bw, "%d %s %d %d%s\n", int64(o.At), o.Kind, o.Offset, o.Size, pri); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+//
+// Writes are buffered; call Flush when done.
+type Encoder struct {
+	bw *bufio.Writer
 }
 
-// Decode parses the text format produced by Encode. Blank lines and lines
-// starting with '#' are skipped.
-func Decode(r io.Reader) ([]Op, error) {
-	var ops []Op
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{bw: bufio.NewWriter(w)} }
+
+// Write encodes one operation.
+func (e *Encoder) Write(o Op) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	pri := ""
+	if o.Priority {
+		pri = " P"
+	}
+	_, err := fmt.Fprintf(e.bw, "%d %s %d %d%s\n", int64(o.At), o.Kind, o.Offset, o.Size, pri)
+	return err
+}
+
+// Comment writes a '#' comment line (skipped by the decoder).
+func (e *Encoder) Comment(format string, args ...any) error {
+	_, err := fmt.Fprintf(e.bw, "# "+format+"\n", args...)
+	return err
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (e *Encoder) Flush() error { return e.bw.Flush() }
+
+// Copy drains a stream into the encoder at constant memory and returns
+// the number of operations written. The encoder stays usable (and
+// unflushed) afterwards.
+func (e *Encoder) Copy(s Stream) (int, error) {
+	n := 0
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := e.Write(op); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, Err(s)
+}
+
+// Encode writes ops in the text format.
+func Encode(w io.Writer, ops []Op) error {
+	_, err := Copy(w, FromSlice(ops))
+	return err
+}
+
+// Copy drains a stream into w in the text format, at constant memory,
+// and returns the number of operations written.
+func Copy(w io.Writer, s Stream) (int, error) {
+	enc := NewEncoder(w)
+	n, err := enc.Copy(s)
+	if err != nil {
+		return n, err
+	}
+	return n, enc.Flush()
+}
+
+// Decoder reads the text format incrementally: a Stream over a trace
+// file that never materializes it. Blank lines and lines starting with
+// '#' are skipped. After Next returns false, Err reports whether the
+// stream ended by exhaustion or by a parse/IO error.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+	done bool
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	return &Decoder{sc: sc}
+}
+
+// Err implements ErrStream.
+func (d *Decoder) Err() error { return d.err }
+
+// Next implements Stream.
+func (d *Decoder) Next() (Op, bool) {
+	if d.done {
+		return Op{}, false
+	}
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		f := strings.Fields(text)
-		if len(f) < 4 || len(f) > 5 {
-			return nil, fmt.Errorf("trace: line %d: want 4 or 5 fields, got %d", line, len(f))
-		}
-		at, err := strconv.ParseInt(f[0], 10, 64)
+		op, err := d.parse(text)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", line, err)
+			d.err = err
+			d.done = true
+			return Op{}, false
 		}
-		var kind Kind
-		switch f[1] {
-		case "R":
-			kind = Read
-		case "W":
-			kind = Write
-		case "F":
-			kind = Free
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad kind %q", line, f[1])
-		}
-		off, err := strconv.ParseInt(f[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad offset: %v", line, err)
-		}
-		size, err := strconv.ParseInt(f[3], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad size: %v", line, err)
-		}
-		op := Op{At: sim.Time(at), Kind: kind, Offset: off, Size: size}
-		if len(f) == 5 {
-			if f[4] != "P" {
-				return nil, fmt.Errorf("trace: line %d: bad flag %q", line, f[4])
-			}
-			op.Priority = true
-		}
-		if err := op.Validate(); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
-		}
-		ops = append(ops, op)
+		return op, true
 	}
-	if err := sc.Err(); err != nil {
+	d.err = d.sc.Err()
+	d.done = true
+	return Op{}, false
+}
+
+// parse decodes one non-comment line.
+func (d *Decoder) parse(text string) (Op, error) {
+	f := strings.Fields(text)
+	if len(f) < 4 || len(f) > 5 {
+		return Op{}, fmt.Errorf("trace: line %d: want 4 or 5 fields, got %d", d.line, len(f))
+	}
+	at, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil {
+		return Op{}, fmt.Errorf("trace: line %d: bad timestamp: %v", d.line, err)
+	}
+	var kind Kind
+	switch f[1] {
+	case "R":
+		kind = Read
+	case "W":
+		kind = Write
+	case "F":
+		kind = Free
+	default:
+		return Op{}, fmt.Errorf("trace: line %d: bad kind %q", d.line, f[1])
+	}
+	off, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return Op{}, fmt.Errorf("trace: line %d: bad offset: %v", d.line, err)
+	}
+	size, err := strconv.ParseInt(f[3], 10, 64)
+	if err != nil {
+		return Op{}, fmt.Errorf("trace: line %d: bad size: %v", d.line, err)
+	}
+	op := Op{At: sim.Time(at), Kind: kind, Offset: off, Size: size}
+	if len(f) == 5 {
+		if f[4] != "P" {
+			return Op{}, fmt.Errorf("trace: line %d: bad flag %q", d.line, f[4])
+		}
+		op.Priority = true
+	}
+	if err := op.Validate(); err != nil {
+		return Op{}, fmt.Errorf("trace: line %d: %v", d.line, err)
+	}
+	return op, nil
+}
+
+// Decode parses the text format produced by Encode.
+func Decode(r io.Reader) ([]Op, error) {
+	d := NewDecoder(r)
+	ops := Collect(d)
+	if err := d.Err(); err != nil {
 		return nil, err
 	}
 	return ops, nil

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"ossd/internal/sim"
+	"ossd/internal/trace"
+)
+
+// opsHash fingerprints a trace so the stream redesign can be pinned to
+// the exact sequences the slice-era generators produced.
+func opsHash(ops []trace.Op) uint64 {
+	h := fnv.New64a()
+	for _, o := range ops {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%v\n", int64(o.At), o.Kind, o.Offset, o.Size, o.Priority)
+	}
+	return h.Sum64()
+}
+
+// The golden counts and FNV-1a hashes below were captured from the
+// legacy slice-returning generators immediately before the stream
+// redesign. They pin both properties the migration promised: the
+// streams produce op-for-op what the slices did, and the …Ops adapters
+// are exact.
+func TestGeneratorsMatchLegacyGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream func() (trace.Stream, error)
+		ops    int
+		hash   uint64
+	}{
+		{
+			name: "synthetic",
+			stream: func() (trace.Stream, error) {
+				return Synthetic(SyntheticConfig{
+					Ops: 5000, AddressSpace: 1 << 24, ReqSize: 4096, ReadFrac: 0.66,
+					SeqProb: 0.3, PriorityFrac: 0.1,
+					InterarrivalLo: 0, InterarrivalHi: 100 * sim.Microsecond, Seed: 42,
+				})
+			},
+			ops:  5000,
+			hash: 0x1af91677686111ac,
+		},
+		{
+			name: "postmark",
+			stream: func() (trace.Stream, error) {
+				return Postmark(PostmarkConfig{
+					Transactions: 3000, InitialFiles: 100, CapacityBytes: 64 << 20,
+					MeanInterarrival: 200 * sim.Microsecond, Seed: 42,
+				})
+			},
+			ops:  7444,
+			hash: 0x133f255a51170293,
+		},
+		{
+			name: "tpcc",
+			stream: func() (trace.Stream, error) {
+				return TPCC(OLTPConfig{
+					Ops: 4000, CapacityBytes: 128 << 20,
+					MeanInterarrival: 50 * sim.Microsecond, Seed: 42,
+				})
+			},
+			ops:  5025,
+			hash: 0xeae119e8537b7994,
+		},
+		{
+			name: "exchange",
+			stream: func() (trace.Stream, error) {
+				return Exchange(ExchangeConfig{
+					Ops: 4000, CapacityBytes: 128 << 20,
+					MeanInterarrival: 50 * sim.Microsecond, Seed: 42,
+				})
+			},
+			ops:  4612,
+			hash: 0xa34dea3dff86cc71,
+		},
+		{
+			name: "iozone",
+			stream: func() (trace.Stream, error) {
+				return IOzone(IOzoneConfig{
+					FileBytes: 8 << 20, RecordBytes: 128 << 10,
+					MeanInterarrival: 100 * sim.Microsecond, Seed: 42,
+				})
+			},
+			ops:  256,
+			hash: 0xd8d7f6e662d7b9e7,
+		},
+		{
+			name: "seqwrites",
+			stream: func() (trace.Stream, error) {
+				return SequentialWrites(500, 1<<20, 64<<20), nil
+			},
+			ops:  500,
+			hash: 0xa6c748873bb4dc7,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.stream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := trace.Collect(s)
+			if len(got) != tc.ops {
+				t.Fatalf("stream produced %d ops, legacy produced %d", len(got), tc.ops)
+			}
+			if h := opsHash(got); h != tc.hash {
+				t.Fatalf("stream hash %#x, legacy hash %#x — sequence diverged", h, tc.hash)
+			}
+		})
+	}
+}
+
+// The …Ops adapters must be exactly Collect(stream) for the same config.
+func TestOpsAdaptersEqualCollectedStreams(t *testing.T) {
+	syn := SyntheticConfig{
+		Ops: 1000, AddressSpace: 1 << 22, ReqSize: 4096, ReadFrac: 0.5,
+		SeqProb: 0.4, InterarrivalHi: 50 * sim.Microsecond, Seed: 9,
+	}
+	s1, err := Synthetic(syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := SyntheticOps(syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(s1), o1) {
+		t.Fatal("synthetic adapter diverged from stream")
+	}
+
+	pm := PostmarkConfig{Transactions: 800, InitialFiles: 30, CapacityBytes: 32 << 20, Seed: 9}
+	s2, err := Postmark(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := PostmarkOps(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(s2), o2) {
+		t.Fatal("postmark adapter diverged from stream")
+	}
+
+	oc := OLTPConfig{Ops: 800, CapacityBytes: 64 << 20, Seed: 9}
+	s3, err := TPCC(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := TPCCOps(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(s3), o3) {
+		t.Fatal("tpcc adapter diverged from stream")
+	}
+
+	ec := ExchangeConfig{Ops: 800, CapacityBytes: 64 << 20, Seed: 9}
+	s4, err := Exchange(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4, err := ExchangeOps(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(s4), o4) {
+		t.Fatal("exchange adapter diverged from stream")
+	}
+
+	ic := IOzoneConfig{FileBytes: 2 << 20, Seed: 9}
+	s5, err := IOzone(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o5, err := IOzoneOps(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(s5), o5) {
+		t.Fatal("iozone adapter diverged from stream")
+	}
+
+	if !reflect.DeepEqual(trace.Collect(SequentialWrites(40, 1<<20, 8<<20)), SequentialWritesOps(40, 1<<20, 8<<20)) {
+		t.Fatal("seqwrites adapter diverged from stream")
+	}
+}
+
+// Pulling a stream twice must not re-run generation: streams are
+// single-use and exhausted streams stay exhausted.
+func TestStreamsAreSingleUse(t *testing.T) {
+	s, err := Synthetic(SyntheticConfig{Ops: 10, AddressSpace: 1 << 20, ReqSize: 4096, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trace.Collect(s); len(got) != 10 {
+		t.Fatalf("first drain: %d", len(got))
+	}
+	if got := trace.Collect(s); len(got) != 0 {
+		t.Fatalf("second drain yielded %d ops", len(got))
+	}
+}

@@ -63,8 +63,10 @@ func (c *PostmarkConfig) defaults() error {
 	return nil
 }
 
-// Postmark generates the trace.
-func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
+// Postmark streams the trace one transaction at a time: the file-system
+// model evolves as the stream is pulled, so memory is bounded by the
+// live file set, never by the transaction count.
+func Postmark(cfg PostmarkConfig) (trace.Stream, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
@@ -85,8 +87,9 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 		return nil, err
 	}
 	rng := sim.NewRNG(cfg.Seed)
-	var ops []trace.Op
 	var at sim.Time
+	// emit is rebound to the stream's buffer on every step.
+	var emit func(trace.Op)
 	tick := func() {
 		if cfg.MeanInterarrival > 0 {
 			at += rng.Exponential(cfg.MeanInterarrival)
@@ -97,7 +100,7 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 			return
 		}
 		blk := int64(id) % metaBlocks
-		ops = append(ops, trace.Op{At: at, Kind: trace.Write, Offset: metaBase + blk*cfg.BlockSize, Size: cfg.BlockSize})
+		emit(trace.Op{At: at, Kind: trace.Write, Offset: metaBase + blk*cfg.BlockSize, Size: cfg.BlockSize})
 	}
 	blocksFor := func(bytes int64) int64 {
 		return (bytes + cfg.BlockSize - 1) / cfg.BlockSize
@@ -106,7 +109,7 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 	writeExtents := func(ex []fsmodel.Extent) {
 		for _, e := range ex {
 			off, size := e.Bytes(cfg.BlockSize)
-			ops = append(ops, trace.Op{At: at, Kind: trace.Write, Offset: off, Size: size})
+			emit(trace.Op{At: at, Kind: trace.Write, Offset: off, Size: size})
 		}
 	}
 	create := func() {
@@ -136,7 +139,7 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 		meta(id)
 		for _, e := range freed {
 			off, size := e.Bytes(cfg.BlockSize)
-			ops = append(ops, trace.Op{At: at, Kind: trace.Free, Offset: off, Size: size})
+			emit(trace.Op{At: at, Kind: trace.Free, Offset: off, Size: size})
 		}
 	}
 	read := func() {
@@ -150,7 +153,7 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 		}
 		for _, e := range ex {
 			off, size := e.Bytes(cfg.BlockSize)
-			ops = append(ops, trace.Op{At: at, Kind: trace.Read, Offset: off, Size: size})
+			emit(trace.Op{At: at, Kind: trace.Read, Offset: off, Size: size})
 		}
 	}
 	appendTx := func() {
@@ -170,11 +173,19 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 		meta(id)
 	}
 
-	for i := 0; i < cfg.InitialFiles; i++ {
-		create()
-		tick()
-	}
-	for i := 0; i < cfg.Transactions; i++ {
+	created, txDone := 0, 0
+	return &stepStream{step: func(e func(trace.Op)) bool {
+		emit = e
+		if created < cfg.InitialFiles {
+			created++
+			create()
+			tick()
+			return true
+		}
+		if txDone >= cfg.Transactions {
+			return false
+		}
+		txDone++
 		switch p := rng.Float64(); {
 		case p < 0.40:
 			read()
@@ -186,8 +197,17 @@ func Postmark(cfg PostmarkConfig) ([]trace.Op, error) {
 			remove()
 		}
 		tick()
+		return true
+	}}, nil
+}
+
+// PostmarkOps materializes the stream: the legacy slice API.
+func PostmarkOps(cfg PostmarkConfig) ([]trace.Op, error) {
+	s, err := Postmark(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return ops, nil
+	return trace.Collect(s), nil
 }
 
 // OLTPConfig parameterizes the TPC-C-style workload: fixed-size page I/O
@@ -211,8 +231,9 @@ type OLTPConfig struct {
 	Seed int64
 }
 
-// TPCC generates the trace.
-func TPCC(cfg OLTPConfig) ([]trace.Op, error) {
+// TPCC streams the trace one data-page operation (plus its occasional
+// log append) at a time.
+func TPCC(cfg OLTPConfig) (trace.Stream, error) {
 	if cfg.Ops <= 0 || cfg.CapacityBytes <= 0 {
 		return nil, fmt.Errorf("workload: tpcc needs ops and capacity")
 	}
@@ -233,7 +254,6 @@ func TPCC(cfg OLTPConfig) ([]trace.Op, error) {
 		return nil, fmt.Errorf("workload: capacity too small for page size")
 	}
 	zipf := rng.Zipf(1.1, uint64(dataPages))
-	var ops []trace.Op
 	var at sim.Time
 	logHead := int64(0)
 	tick := func() {
@@ -241,14 +261,19 @@ func TPCC(cfg OLTPConfig) ([]trace.Op, error) {
 			at += rng.Exponential(cfg.MeanInterarrival)
 		}
 	}
-	for i := 0; i < cfg.Ops; i++ {
+	i := 0
+	return &stepStream{step: func(emit func(trace.Op)) bool {
+		if i >= cfg.Ops {
+			return false
+		}
+		i++
 		page := int64(zipf.Uint64())
 		off := logRegion + page*cfg.PageBytes
 		kind := trace.Write
 		if rng.Bool(cfg.ReadFrac) {
 			kind = trace.Read
 		}
-		ops = append(ops, trace.Op{At: at, Kind: kind, Offset: off, Size: cfg.PageBytes})
+		emit(trace.Op{At: at, Kind: kind, Offset: off, Size: cfg.PageBytes})
 		tick()
 		if rng.Bool(cfg.LogFrac) {
 			// Sequential log append, 512 B – 4 KB records.
@@ -256,12 +281,21 @@ func TPCC(cfg OLTPConfig) ([]trace.Op, error) {
 			if logHead+rec > logRegion {
 				logHead = 0
 			}
-			ops = append(ops, trace.Op{At: at, Kind: trace.Write, Offset: logHead, Size: rec})
+			emit(trace.Op{At: at, Kind: trace.Write, Offset: logHead, Size: rec})
 			logHead += rec
 			tick()
 		}
+		return true
+	}}, nil
+}
+
+// TPCCOps materializes the stream: the legacy slice API.
+func TPCCOps(cfg OLTPConfig) ([]trace.Op, error) {
+	s, err := TPCC(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return ops, nil
+	return trace.Collect(s), nil
 }
 
 // ExchangeConfig parameterizes the Exchange-server-style workload: 8 KB
@@ -277,8 +311,9 @@ type ExchangeConfig struct {
 	Seed             int64
 }
 
-// Exchange generates the trace.
-func Exchange(cfg ExchangeConfig) ([]trace.Op, error) {
+// Exchange streams the trace one iteration (a page op or a burst) at a
+// time.
+func Exchange(cfg ExchangeConfig) (trace.Stream, error) {
 	if cfg.Ops <= 0 || cfg.CapacityBytes <= 0 {
 		return nil, fmt.Errorf("workload: exchange needs ops and capacity")
 	}
@@ -291,7 +326,6 @@ func Exchange(cfg ExchangeConfig) ([]trace.Op, error) {
 	if pages <= 8 {
 		return nil, fmt.Errorf("workload: capacity too small")
 	}
-	var ops []trace.Op
 	var at sim.Time
 	tick := func() {
 		if cfg.MeanInterarrival > 0 {
@@ -299,30 +333,44 @@ func Exchange(cfg ExchangeConfig) ([]trace.Op, error) {
 		}
 	}
 	burst := int64(0)
-	for i := 0; i < cfg.Ops; i++ {
+	i := 0
+	return &stepStream{step: func(emit func(trace.Op)) bool {
+		if i >= cfg.Ops {
+			return false
+		}
+		i++
 		if rng.Bool(cfg.BurstFrac) {
 			// 32 KB sequential burst: 4 contiguous pages.
 			start := rng.Int63n(pages-8) * page
 			run := int64(4)
 			if burst%2 == 0 {
 				for k := int64(0); k < run; k++ {
-					ops = append(ops, trace.Op{At: at, Kind: trace.Write, Offset: start + k*page, Size: page})
+					emit(trace.Op{At: at, Kind: trace.Write, Offset: start + k*page, Size: page})
 				}
 			} else {
-				ops = append(ops, trace.Op{At: at, Kind: trace.Read, Offset: start, Size: run * page})
+				emit(trace.Op{At: at, Kind: trace.Read, Offset: start, Size: run * page})
 			}
 			burst++
 			tick()
-			continue
+			return true
 		}
 		kind := trace.Write
 		if rng.Bool(0.6) {
 			kind = trace.Read
 		}
-		ops = append(ops, trace.Op{At: at, Kind: kind, Offset: rng.Int63n(pages) * page, Size: page})
+		emit(trace.Op{At: at, Kind: kind, Offset: rng.Int63n(pages) * page, Size: page})
 		tick()
+		return true
+	}}, nil
+}
+
+// ExchangeOps materializes the stream: the legacy slice API.
+func ExchangeOps(cfg ExchangeConfig) ([]trace.Op, error) {
+	s, err := Exchange(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return ops, nil
+	return trace.Collect(s), nil
 }
 
 // IOzoneConfig parameterizes the IOzone-style workload: phased sequential
@@ -343,8 +391,8 @@ type IOzoneConfig struct {
 	Seed int64
 }
 
-// IOzone generates the trace.
-func IOzone(cfg IOzoneConfig) ([]trace.Op, error) {
+// IOzone streams the trace one record at a time across the four phases.
+func IOzone(cfg IOzoneConfig) (trace.Stream, error) {
 	if cfg.FileBytes <= 0 {
 		return nil, fmt.Errorf("workload: iozone needs a file size")
 	}
@@ -355,26 +403,39 @@ func IOzone(cfg IOzoneConfig) ([]trace.Op, error) {
 		cfg.FileOffset = 3 * 4096
 	}
 	rng := sim.NewRNG(cfg.Seed)
-	var ops []trace.Op
 	var at sim.Time
 	tick := func() {
 		if cfg.MeanInterarrival > 0 {
 			at += rng.Exponential(cfg.MeanInterarrival)
 		}
 	}
-	phase := func(kind trace.Kind) {
-		for off := int64(0); off < cfg.FileBytes; off += cfg.RecordBytes {
-			size := cfg.RecordBytes
-			if off+size > cfg.FileBytes {
-				size = cfg.FileBytes - off
+	phases := []trace.Kind{trace.Write, trace.Write, trace.Read, trace.Read} // write, rewrite, read, reread
+	phase := 0
+	off := int64(0)
+	return trace.Func(func() (trace.Op, bool) {
+		for off >= cfg.FileBytes {
+			phase++
+			if phase >= len(phases) {
+				return trace.Op{}, false
 			}
-			ops = append(ops, trace.Op{At: at, Kind: kind, Offset: cfg.FileOffset + off, Size: size})
-			tick()
+			off = 0
 		}
+		size := cfg.RecordBytes
+		if off+size > cfg.FileBytes {
+			size = cfg.FileBytes - off
+		}
+		op := trace.Op{At: at, Kind: phases[phase], Offset: cfg.FileOffset + off, Size: size}
+		off += size
+		tick()
+		return op, true
+	}), nil
+}
+
+// IOzoneOps materializes the stream: the legacy slice API.
+func IOzoneOps(cfg IOzoneConfig) ([]trace.Op, error) {
+	s, err := IOzone(cfg)
+	if err != nil {
+		return nil, err
 	}
-	phase(trace.Write) // write
-	phase(trace.Write) // rewrite
-	phase(trace.Read)  // read
-	phase(trace.Read)  // reread
-	return ops, nil
+	return trace.Collect(s), nil
 }

@@ -4,6 +4,12 @@
 // Postmark (run through the fsmodel allocator so deletions appear as free
 // notifications), TPC-C, Exchange, and IOzone — matching each workload's
 // published I/O signature.
+//
+// Every generator returns a trace.Stream: operations are produced on
+// demand, so a million-op workload costs the same memory as a hundred-op
+// one. The …Ops variants materialize the stream for callers that still
+// need a slice; for a fixed seed the stream and the slice are identical
+// op for op.
 package workload
 
 import (
@@ -60,26 +66,30 @@ func (c *SyntheticConfig) Validate() error {
 	return nil
 }
 
-// Synthetic generates the stream.
-func Synthetic(cfg SyntheticConfig) ([]trace.Op, error) {
+// Synthetic returns the stream, generating one operation per pull.
+func Synthetic(cfg SyntheticConfig) (trace.Stream, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := sim.NewRNG(cfg.Seed)
-	ops := make([]trace.Op, 0, cfg.Ops)
-	var at sim.Time
-	var lastEnd int64
 	slots := (cfg.AddressSpace - cfg.ReqSize) / cfg.Align
 	if slots <= 0 {
 		slots = 1
 	}
-	for i := 0; i < cfg.Ops; i++ {
+	var at sim.Time
+	var lastEnd int64
+	i := 0
+	return trace.Func(func() (trace.Op, bool) {
+		if i >= cfg.Ops {
+			return trace.Op{}, false
+		}
 		var off int64
 		if i > 0 && rng.Bool(cfg.SeqProb) && lastEnd+cfg.ReqSize <= cfg.AddressSpace {
 			off = lastEnd
 		} else {
 			off = rng.Int63n(slots) * cfg.Align
 		}
+		i++
 		kind := trace.Write
 		if rng.Bool(cfg.ReadFrac) {
 			kind = trace.Read
@@ -91,25 +101,42 @@ func Synthetic(cfg SyntheticConfig) ([]trace.Op, error) {
 			Size:     cfg.ReqSize,
 			Priority: rng.Bool(cfg.PriorityFrac),
 		}
-		ops = append(ops, op)
 		lastEnd = op.End()
 		at += rng.UniformDuration(cfg.InterarrivalLo, cfg.InterarrivalHi)
-	}
-	return ops, nil
+		return op, true
+	}), nil
 }
 
-// SequentialWrites produces n back-to-back writes of the given size
+// SyntheticOps materializes the stream: the legacy slice API.
+func SyntheticOps(cfg SyntheticConfig) ([]trace.Op, error) {
+	s, err := Synthetic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(s), nil
+}
+
+// SequentialWrites streams n back-to-back writes of the given size
 // walking the address space from offset 0, wrapping at space. Used for
 // the Figure 2 write-amplification sweep.
-func SequentialWrites(n int, size, space int64) []trace.Op {
-	ops := make([]trace.Op, 0, n)
+func SequentialWrites(n int, size, space int64) trace.Stream {
 	var off int64
-	for i := 0; i < n; i++ {
+	i := 0
+	return trace.Func(func() (trace.Op, bool) {
+		if i >= n {
+			return trace.Op{}, false
+		}
+		i++
 		if off+size > space {
 			off = 0
 		}
-		ops = append(ops, trace.Op{Kind: trace.Write, Offset: off, Size: size})
+		op := trace.Op{Kind: trace.Write, Offset: off, Size: size}
 		off += size
-	}
-	return ops
+		return op, true
+	})
+}
+
+// SequentialWritesOps materializes SequentialWrites.
+func SequentialWritesOps(n int, size, space int64) []trace.Op {
+	return trace.Collect(SequentialWrites(n, size, space))
 }

@@ -17,7 +17,7 @@ func TestSyntheticValidation(t *testing.T) {
 		{Ops: 10, AddressSpace: 1 << 20, ReqSize: 4096, InterarrivalLo: 10, InterarrivalHi: 5},
 	}
 	for i, c := range bad {
-		if _, err := Synthetic(c); err == nil {
+		if _, err := SyntheticOps(c); err == nil {
 			t.Errorf("case %d: accepted %+v", i, c)
 		}
 	}
@@ -25,16 +25,16 @@ func TestSyntheticValidation(t *testing.T) {
 
 func TestSyntheticDeterminism(t *testing.T) {
 	cfg := SyntheticConfig{Ops: 100, AddressSpace: 1 << 20, ReqSize: 4096, ReadFrac: 0.5, SeqProb: 0.3, Seed: 42}
-	a, err := Synthetic(cfg)
+	a, err := SyntheticOps(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := Synthetic(cfg)
+	b, _ := SyntheticOps(cfg)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed produced different traces")
 	}
 	cfg.Seed = 43
-	c, _ := Synthetic(cfg)
+	c, _ := SyntheticOps(cfg)
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds produced identical traces")
 	}
@@ -46,7 +46,7 @@ func TestSyntheticShape(t *testing.T) {
 		ReadFrac: 0.66, SeqProb: 0, PriorityFrac: 0.1,
 		InterarrivalLo: 0, InterarrivalHi: 100 * sim.Microsecond, Seed: 1,
 	}
-	ops, err := Synthetic(cfg)
+	ops, err := SyntheticOps(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestSyntheticShape(t *testing.T) {
 func TestSyntheticSequentiality(t *testing.T) {
 	count := func(p float64) int {
 		cfg := SyntheticConfig{Ops: 2000, AddressSpace: 1 << 26, ReqSize: 4096, SeqProb: p, Seed: 5}
-		ops, err := Synthetic(cfg)
+		ops, err := SyntheticOps(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestSyntheticSequentiality(t *testing.T) {
 }
 
 func TestSequentialWrites(t *testing.T) {
-	ops := SequentialWrites(10, 1<<20, 4<<20)
+	ops := SequentialWritesOps(10, 1<<20, 4<<20)
 	if len(ops) != 10 {
 		t.Fatalf("len = %d", len(ops))
 	}
@@ -122,7 +122,7 @@ func TestPostmarkTrace(t *testing.T) {
 		CapacityBytes: 64 << 20,
 		Seed:          7,
 	}
-	ops, err := Postmark(cfg)
+	ops, err := PostmarkOps(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestPostmarkTrace(t *testing.T) {
 		}
 	}
 	// Determinism.
-	again, _ := Postmark(cfg)
+	again, _ := PostmarkOps(cfg)
 	if !reflect.DeepEqual(ops, again) {
 		t.Fatal("postmark not deterministic")
 	}
@@ -153,7 +153,7 @@ func TestPostmarkFreesMatchWrites(t *testing.T) {
 	// Freed ranges must previously have been written (the fs only frees
 	// allocated blocks).
 	cfg := PostmarkConfig{Transactions: 1000, InitialFiles: 20, CapacityBytes: 32 << 20, Seed: 11}
-	ops, err := Postmark(cfg)
+	ops, err := PostmarkOps(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,20 +175,20 @@ func TestPostmarkFreesMatchWrites(t *testing.T) {
 }
 
 func TestPostmarkValidation(t *testing.T) {
-	if _, err := Postmark(PostmarkConfig{}); err == nil {
+	if _, err := PostmarkOps(PostmarkConfig{}); err == nil {
 		t.Error("accepted empty config")
 	}
-	if _, err := Postmark(PostmarkConfig{Transactions: 10}); err == nil {
+	if _, err := PostmarkOps(PostmarkConfig{Transactions: 10}); err == nil {
 		t.Error("accepted zero capacity")
 	}
-	if _, err := Postmark(PostmarkConfig{Transactions: 10, CapacityBytes: 1 << 20, FileSizeMin: 4096, FileSizeMax: 512}); err == nil {
+	if _, err := PostmarkOps(PostmarkConfig{Transactions: 10, CapacityBytes: 1 << 20, FileSizeMin: 4096, FileSizeMax: 512}); err == nil {
 		t.Error("accepted max < min")
 	}
 }
 
 func TestTPCCTrace(t *testing.T) {
 	cfg := OLTPConfig{Ops: 3000, CapacityBytes: 256 << 20, Seed: 13, MeanInterarrival: 50 * sim.Microsecond}
-	ops, err := TPCC(cfg)
+	ops, err := TPCCOps(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,16 +233,16 @@ func TestTPCCTrace(t *testing.T) {
 }
 
 func TestTPCCValidation(t *testing.T) {
-	if _, err := TPCC(OLTPConfig{}); err == nil {
+	if _, err := TPCCOps(OLTPConfig{}); err == nil {
 		t.Error("accepted empty config")
 	}
-	if _, err := TPCC(OLTPConfig{Ops: 10, CapacityBytes: 8192}); err == nil {
+	if _, err := TPCCOps(OLTPConfig{Ops: 10, CapacityBytes: 8192}); err == nil {
 		t.Error("accepted tiny capacity")
 	}
 }
 
 func TestExchangeTrace(t *testing.T) {
-	ops, err := Exchange(ExchangeConfig{Ops: 2000, CapacityBytes: 128 << 20, Seed: 17})
+	ops, err := ExchangeOps(ExchangeConfig{Ops: 2000, CapacityBytes: 128 << 20, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,17 +263,17 @@ func TestExchangeTrace(t *testing.T) {
 }
 
 func TestExchangeValidation(t *testing.T) {
-	if _, err := Exchange(ExchangeConfig{}); err == nil {
+	if _, err := ExchangeOps(ExchangeConfig{}); err == nil {
 		t.Error("accepted empty config")
 	}
-	if _, err := Exchange(ExchangeConfig{Ops: 10, CapacityBytes: 1024}); err == nil {
+	if _, err := ExchangeOps(ExchangeConfig{Ops: 10, CapacityBytes: 1024}); err == nil {
 		t.Error("accepted tiny capacity")
 	}
 }
 
 func TestIOzoneTrace(t *testing.T) {
 	cfg := IOzoneConfig{FileBytes: 4 << 20, RecordBytes: 128 << 10, Seed: 19}
-	ops, err := IOzone(cfg)
+	ops, err := IOzoneOps(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestIOzoneTrace(t *testing.T) {
 }
 
 func TestIOzoneValidation(t *testing.T) {
-	if _, err := IOzone(IOzoneConfig{}); err == nil {
+	if _, err := IOzoneOps(IOzoneConfig{}); err == nil {
 		t.Error("accepted empty config")
 	}
 }
@@ -305,34 +305,34 @@ func TestIOzoneValidation(t *testing.T) {
 func TestMacroGeneratorsDeterministic(t *testing.T) {
 	// Identical seeds must reproduce identical traces for every macro
 	// generator — the property every experiment depends on.
-	p1, _ := Postmark(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5})
-	p2, _ := Postmark(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5})
+	p1, _ := PostmarkOps(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5})
+	p2, _ := PostmarkOps(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5})
 	if !reflect.DeepEqual(p1, p2) {
 		t.Error("postmark not deterministic")
 	}
-	t1, _ := TPCC(OLTPConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
-	t2, _ := TPCC(OLTPConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
+	t1, _ := TPCCOps(OLTPConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
+	t2, _ := TPCCOps(OLTPConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
 	if !reflect.DeepEqual(t1, t2) {
 		t.Error("tpcc not deterministic")
 	}
-	e1, _ := Exchange(ExchangeConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
-	e2, _ := Exchange(ExchangeConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
+	e1, _ := ExchangeOps(ExchangeConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
+	e2, _ := ExchangeOps(ExchangeConfig{Ops: 500, CapacityBytes: 64 << 20, Seed: 5})
 	if !reflect.DeepEqual(e1, e2) {
 		t.Error("exchange not deterministic")
 	}
-	i1, _ := IOzone(IOzoneConfig{FileBytes: 1 << 20, Seed: 5})
-	i2, _ := IOzone(IOzoneConfig{FileBytes: 1 << 20, Seed: 5})
+	i1, _ := IOzoneOps(IOzoneConfig{FileBytes: 1 << 20, Seed: 5})
+	i2, _ := IOzoneOps(IOzoneConfig{FileBytes: 1 << 20, Seed: 5})
 	if !reflect.DeepEqual(i1, i2) {
 		t.Error("iozone not deterministic")
 	}
 }
 
 func TestPostmarkMetadataStream(t *testing.T) {
-	with, err := Postmark(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5})
+	with, err := PostmarkOps(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Postmark(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5, NoMetadata: true})
+	without, err := PostmarkOps(PostmarkConfig{Transactions: 500, InitialFiles: 20, CapacityBytes: 16 << 20, Seed: 5, NoMetadata: true})
 	if err != nil {
 		t.Fatal(err)
 	}
