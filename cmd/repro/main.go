@@ -3,15 +3,18 @@
 // (and fan their own independent simulations out further); the report is
 // assembled in experiment order, so its bytes are identical for a fixed
 // seed regardless of worker count. With no flags it runs the full suite
-// and prints each result in the paper's format; -run selects a subset.
+// and prints each result in the paper's format; -run selects a subset;
+// -json emits the machine-readable encoding instead of text tables.
 //
 //	repro                  # everything
 //	repro -run table2,figure3
 //	repro -list            # show available experiments
 //	repro -seed 7 -workers 4 -o report.txt
+//	repro -run table2 -json -o report.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,47 +24,8 @@ import (
 
 	"ossd/internal/experiments"
 	"ossd/internal/runner"
+	"ossd/internal/simsvc"
 )
-
-type experiment struct {
-	id, desc string
-	run      func(seed int64, workers int) (experiments.Result, error)
-}
-
-func catalog() []experiment {
-	return []experiment{
-		{"contract", "Table 1: unwritten-contract terms probed on disk, RAID, MEMS, and SSD", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Contract(seed, workers)
-		}},
-		{"table2", "Table 2: sequential vs random bandwidth across device profiles", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Table2(experiments.Table2Options{Seed: seed, Workers: workers})
-		}},
-		{"swtf", "Section 3.2: SWTF vs FCFS scheduling", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.SWTF(experiments.SWTFOptions{Seed: seed, Workers: workers})
-		}},
-		{"figure2", "Figure 2: write-amplification saw-tooth (bandwidth vs write size)", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Figure2(experiments.Figure2Options{MaxBytes: 9 << 20, Workers: workers})
-		}},
-		{"table3", "Table 3: aligned vs unaligned writes across sequentiality", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Table3(experiments.Table3Options{Seed: seed, Workers: workers})
-		}},
-		{"table4", "Table 4: alignment improvement on macro workloads", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Table4(experiments.Table4Options{Seed: seed, Workers: workers})
-		}},
-		{"table5", "Table 5: informed cleaning with free-page information", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Table5(experiments.Table5Options{Seed: seed, Workers: workers})
-		}},
-		{"figure3", "Figure 3 + Table 6: priority-aware cleaning", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Figure3(experiments.Figure3Options{Seed: seed, Workers: workers})
-		}},
-		{"schemes", "Extension: page/hybrid/block FTL mapping schemes compared", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Schemes(seed, workers)
-		}},
-		{"lifetime", "Extension: endurance under skewed writes (wear-leveling, SLC vs MLC)", func(seed int64, workers int) (experiments.Result, error) {
-			return experiments.Lifetime(seed, workers)
-		}},
-	}
-}
 
 func main() {
 	var (
@@ -70,13 +34,14 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for workloads")
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		outPath = flag.String("o", "", "write the report to this file (default stdout)")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON results instead of text tables")
 	)
 	flag.Parse()
 
-	cat := catalog()
+	cat := experiments.Catalog()
 	if *list {
 		for _, e := range cat {
-			fmt.Printf("%-10s %s\n", e.id, e.desc)
+			fmt.Printf("%-10s %s\n", e.ID, e.Description)
 		}
 		return
 	}
@@ -98,22 +63,21 @@ func main() {
 		want[strings.TrimSpace(id)] = true
 	}
 
-	known := map[string]bool{}
-	for _, e := range cat {
-		known[e.id] = true
-	}
 	if !all {
 		for id := range want {
-			if id != "" && !known[id] {
+			if id == "" {
+				continue
+			}
+			if _, ok := experiments.CatalogEntryByID(id); !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}
 		}
 	}
 
-	var selected []experiment
+	var selected []experiments.CatalogEntry
 	for _, e := range cat {
-		if all || want[e.id] {
+		if all || want[e.ID] {
 			selected = append(selected, e)
 		}
 	}
@@ -143,9 +107,9 @@ func main() {
 	for i, e := range selected {
 		e := e
 		specs[i] = runner.Spec[experiments.Result]{
-			Name: e.id,
+			Name: e.ID,
 			Seed: *seed,
-			Run:  func() (experiments.Result, error) { return e.run(*seed, inner) },
+			Run:  func() (experiments.Result, error) { return e.Run(*seed, inner) },
 		}
 	}
 	outcomes := runner.RunAll(specs, runner.Options{
@@ -159,17 +123,43 @@ func main() {
 
 	// Timing goes to stderr only: the report must be byte-identical for a
 	// fixed seed regardless of worker count or machine speed.
-	fmt.Fprintf(out, "Block Management in Solid-State Devices — reproduction report\n")
-	fmt.Fprintf(out, "seed=%d\n\n", *seed)
-	failed := false
-	for i, o := range outcomes {
+	for _, o := range outcomes {
 		fmt.Fprintf(os.Stderr, "%-10s finished in %.1fs\n", o.Name, o.Elapsed.Seconds())
-		if o.Err != nil {
-			fmt.Fprintf(out, "== %s FAILED: %v\n\n", o.Name, o.Err)
-			failed = true
-			continue
+	}
+
+	failed := false
+	if *asJSON {
+		results := make([]simsvc.ExperimentResult, len(outcomes))
+		for i, o := range outcomes {
+			results[i] = simsvc.ExperimentResult{
+				Name:        selected[i].ID,
+				Description: selected[i].Description,
+				Seed:        *seed,
+			}
+			if o.Err != nil {
+				results[i].Error = o.Err.Error()
+				failed = true
+				continue
+			}
+			results[i].Report = o.Value.String()
 		}
-		fmt.Fprintf(out, "== %s (%s)\n%s\n", o.Name, selected[i].desc, o.Value.String())
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintf(out, "Block Management in Solid-State Devices — reproduction report\n")
+		fmt.Fprintf(out, "seed=%d\n\n", *seed)
+		for i, o := range outcomes {
+			if o.Err != nil {
+				fmt.Fprintf(out, "== %s FAILED: %v\n\n", o.Name, o.Err)
+				failed = true
+				continue
+			}
+			fmt.Fprintf(out, "== %s (%s)\n%s\n", o.Name, selected[i].Description, o.Value.String())
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,73 @@
+// Command simd serves the simulator as an HTTP service: submit
+// simulation jobs (any registered device profile driven by any named
+// workload generator), watch their telemetry stream live, and rerun any
+// of the paper's experiments remotely. Identical jobs are served from a
+// content-addressed result cache — sound because every simulation is
+// deterministic from its spec.
+//
+//	simd -addr :8080
+//	curl -s localhost:8080/profiles
+//	curl -s -X POST -d '{"profile":"ssd","workload":"synthetic",
+//	    "params":{"ops":100000,"capacity_bytes":8388608,"seed":1}}' localhost:8080/jobs
+//	curl -s 'localhost:8080/jobs/job-1?wait=1'
+//	curl -sN localhost:8080/jobs/job-1/stream
+//	curl -s -X POST localhost:8080/experiments/table2
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ossd/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		backlog = flag.Int("backlog", 0, "queued-job bound before load shedding (0 = 256)")
+		cacheN  = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
+		sample  = flag.Int("sample", 0, "telemetry sample cadence in ops (0 = 1000)")
+	)
+	flag.Parse()
+
+	mgr := simsvc.New(simsvc.Options{
+		Workers:      *workers,
+		Backlog:      *backlog,
+		CacheEntries: *cacheN,
+		SampleEvery:  *sample,
+	})
+	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: cancel in-flight jobs first so handlers blocked
+	// on ?wait=1 or /stream complete with responses, then stop accepting
+	// requests and drain the pool.
+	fmt.Fprintln(os.Stderr, "simd: shutting down")
+	mgr.CancelAll()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+	}
+	mgr.Close()
+}

@@ -6,6 +6,7 @@
 //
 //	ssdsim -profile S4slc_sim -trace pm.trace -limit 100000
 //	ssdsim -profile S2slc -ops 20000 -readfrac 0.5 -align
+//	ssdsim -profile hdd -workload postmark -tx 5000
 //	ssdsim -list
 package main
 
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ossd/internal/core"
 	"ossd/internal/ftl"
@@ -27,11 +29,13 @@ func main() {
 	var (
 		profile  = flag.String("profile", "S4slc_sim", "device profile name")
 		list     = flag.Bool("list", false, "list device profiles and exit")
-		traceIn  = flag.String("trace", "", "trace file to replay (default: synthetic workload)")
-		ops      = flag.Int("ops", 20000, "synthetic op count")
+		traceIn  = flag.String("trace", "", "trace file to replay (default: generated workload)")
+		wl       = flag.String("workload", "synthetic", strings.Join(workload.Generators(), "|"))
+		ops      = flag.Int("ops", 20000, "generated op count")
+		tx       = flag.Int("tx", 5000, "transactions (postmark)")
 		readFrac = flag.Float64("readfrac", 0.5, "synthetic read fraction")
 		seqProb  = flag.Float64("seq", 0.0, "synthetic sequentiality")
-		iaUs     = flag.Int64("ia", 100, "synthetic mean inter-arrival (us)")
+		iaUs     = flag.Int64("ia", 100, "generated mean inter-arrival (us)")
 		precond  = flag.Float64("precondition", 0.6, "fraction of the device to fill before the run (0 disables)")
 		align    = flag.Bool("align", false, "apply the write merge+align pass before replay")
 		stripeKB = flag.Int64("stripe", 32, "alignment stripe in KiB (with -align)")
@@ -97,14 +101,20 @@ func main() {
 		defer f.Close()
 		stream = trace.NewDecoder(f)
 	} else {
-		stream, err = workload.Synthetic(workload.SyntheticConfig{
-			Ops:            *ops,
-			AddressSpace:   int64(float64(dev.LogicalBytes()) * 0.6),
-			ReadFrac:       *readFrac,
-			SeqProb:        *seqProb,
-			ReqSize:        4096,
-			InterarrivalHi: 2 * sim.Time(*iaUs) * sim.Microsecond,
-			Seed:           *seed,
+		// Any registered generator, targeted at 60% of the device's
+		// address space (the iozone file defaults to a quarter of it).
+		space := int64(float64(dev.LogicalBytes()) * 0.6)
+		// ReqBytes stays unset so each generator keeps its own default
+		// (4 KiB synthetic ops, 1 MiB seqwrites units).
+		stream, err = workload.NewStream(*wl, workload.GenParams{
+			Ops:                *ops,
+			Transactions:       *tx,
+			CapacityBytes:      space,
+			ReadFrac:           *readFrac,
+			SeqProb:            *seqProb,
+			FileBytes:          space / 4,
+			MeanInterarrivalUs: *iaUs,
+			Seed:               *seed,
 		})
 		if err != nil {
 			fail(err)
@@ -140,6 +150,8 @@ func main() {
 	fmt.Printf("write         %.1f MB at %.1f MB/s\n",
 		float64(after.BytesWritten-before.BytesWritten)/1e6, stats.Bandwidth(after.BytesWritten-before.BytesWritten, elapsed))
 	fmt.Printf("mean response read %.3f ms, write %.3f ms (cumulative incl. precondition)\n", after.MeanReadMs, after.MeanWriteMs)
+	fmt.Printf("latency       read p50/p95/p99 %.3f/%.3f/%.3f ms, write p50/p95/p99 %.3f/%.3f/%.3f ms\n",
+		after.P50ReadMs, after.P95ReadMs, after.P99ReadMs, after.P50WriteMs, after.P95WriteMs, after.P99WriteMs)
 
 	var raw *ssd.Device
 	if s, ok := dev.(*core.SSD); ok {

@@ -16,7 +16,6 @@ import (
 	"strconv"
 	"strings"
 
-	"ossd/internal/sim"
 	"ossd/internal/trace"
 	"ossd/internal/workload"
 )
@@ -42,7 +41,7 @@ func parseSize(s string) (int64, error) {
 
 func main() {
 	var (
-		kind     = flag.String("workload", "synthetic", "synthetic|postmark|tpcc|exchange|iozone")
+		kind     = flag.String("workload", "synthetic", strings.Join(workload.Generators(), "|"))
 		ops      = flag.Int("ops", 10000, "operation count (synthetic/tpcc/exchange)")
 		tx       = flag.Int("transactions", 5000, "transactions (postmark)")
 		capacity = flag.String("capacity", "64MiB", "address space / fs capacity")
@@ -67,79 +66,36 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	ia := sim.Time(*iaUs) * sim.Microsecond
+	req, err := parseSize(*reqSize)
+	if err != nil {
+		fail(err)
+	}
+	fileBytes, err := parseSize(*file)
+	if err != nil {
+		fail(err)
+	}
+	rec, err := parseSize(*record)
+	if err != nil {
+		fail(err)
+	}
 
-	var stream trace.Stream
-	switch *kind {
-	case "synthetic":
-		req, err := parseSize(*reqSize)
-		if err != nil {
-			fail(err)
-		}
-		stream, err = workload.Synthetic(workload.SyntheticConfig{
-			Ops:            *ops,
-			AddressSpace:   cap,
-			ReadFrac:       *readFrac,
-			SeqProb:        *seqProb,
-			ReqSize:        req,
-			InterarrivalLo: 0,
-			InterarrivalHi: 2 * ia,
-			PriorityFrac:   *priFrac,
-			Seed:           *seed,
-		})
-		if err != nil {
-			fail(err)
-		}
-	case "postmark":
-		stream, err = workload.Postmark(workload.PostmarkConfig{
-			Transactions:     *tx,
-			CapacityBytes:    cap,
-			MeanInterarrival: ia,
-			Seed:             *seed,
-		})
-		if err != nil {
-			fail(err)
-		}
-	case "tpcc":
-		stream, err = workload.TPCC(workload.OLTPConfig{
-			Ops:              *ops,
-			CapacityBytes:    cap,
-			MeanInterarrival: ia,
-			Seed:             *seed,
-		})
-		if err != nil {
-			fail(err)
-		}
-	case "exchange":
-		stream, err = workload.Exchange(workload.ExchangeConfig{
-			Ops:              *ops,
-			CapacityBytes:    cap,
-			MeanInterarrival: ia,
-			Seed:             *seed,
-		})
-		if err != nil {
-			fail(err)
-		}
-	case "iozone":
-		fileBytes, err := parseSize(*file)
-		if err != nil {
-			fail(err)
-		}
-		rec, err := parseSize(*record)
-		if err != nil {
-			fail(err)
-		}
-		stream, err = workload.IOzone(workload.IOzoneConfig{
-			FileBytes:        fileBytes,
-			RecordBytes:      rec,
-			MeanInterarrival: ia,
-			Seed:             *seed,
-		})
-		if err != nil {
-			fail(err)
-		}
-	default:
-		fail(fmt.Errorf("unknown workload %q", *kind))
+	// Every generator is reached through the registry's unified
+	// parameter block; each reads the fields that apply to it.
+	stream, err := workload.NewStream(*kind, workload.GenParams{
+		Ops:                *ops,
+		Transactions:       *tx,
+		CapacityBytes:      cap,
+		ReqBytes:           req,
+		ReadFrac:           *readFrac,
+		SeqProb:            *seqProb,
+		PriorityFrac:       *priFrac,
+		FileBytes:          fileBytes,
+		RecordBytes:        rec,
+		MeanInterarrivalUs: *iaUs,
+		Seed:               *seed,
+	})
+	if err != nil {
+		fail(err)
 	}
 	if *limit > 0 {
 		stream = trace.Limit(stream, *limit)

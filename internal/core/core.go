@@ -13,6 +13,7 @@ import (
 	"ossd/internal/hdd"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
+	"ossd/internal/stats"
 	"ossd/internal/trace"
 )
 
@@ -55,21 +56,48 @@ type Device interface {
 
 // Snapshot is the metrics view common to every Device. Substrate-specific
 // detail (GC stats, seek counts, parity traffic) stays on the wrapped
-// model, reachable through each wrapper's Raw field.
+// model, reachable through each wrapper's Raw field. The JSON tags are
+// the service serialization (internal/simsvc, cmd/repro -json).
 type Snapshot struct {
 	// Completed counts finished requests, including frees.
-	Completed int64
+	Completed int64 `json:"completed"`
 	// BytesRead and BytesWritten count host data moved.
-	BytesRead, BytesWritten int64
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
 	// Frees counts completed free notifications. Every wrapper counts
 	// them, whether or not the medium acts on them: on media without
 	// block management a free completes as a metadata no-op but still
 	// increments this field.
-	Frees int64
+	Frees int64 `json:"frees"`
 	// Errors counts failed requests (flash wear-out; zero elsewhere).
-	Errors int64
+	Errors int64 `json:"errors"`
 	// MeanReadMs and MeanWriteMs are mean response times in milliseconds.
-	MeanReadMs, MeanWriteMs float64
+	MeanReadMs  float64 `json:"mean_read_ms"`
+	MeanWriteMs float64 `json:"mean_write_ms"`
+	// P50/P95/P99 read and write response-time percentiles in
+	// milliseconds, estimated from each substrate's log-bucketed
+	// response histograms (stats.Histogram): tail latency, not just
+	// means, on every medium.
+	P50ReadMs  float64 `json:"p50_read_ms"`
+	P95ReadMs  float64 `json:"p95_read_ms"`
+	P99ReadMs  float64 `json:"p99_read_ms"`
+	P50WriteMs float64 `json:"p50_write_ms"`
+	P95WriteMs float64 `json:"p95_write_ms"`
+	P99WriteMs float64 `json:"p99_write_ms"`
+}
+
+// fillLatency populates the mean and percentile response-time fields
+// from the two response histograms every substrate keeps in its submit
+// path — one implementation of the latency view for all five wrappers.
+func (s *Snapshot) fillLatency(read, write stats.Histogram) {
+	s.MeanReadMs = read.Mean()
+	s.MeanWriteMs = write.Mean()
+	s.P50ReadMs = read.Percentile(50)
+	s.P95ReadMs = read.Percentile(95)
+	s.P99ReadMs = read.Percentile(99)
+	s.P50WriteMs = write.Percentile(50)
+	s.P95WriteMs = write.Percentile(95)
+	s.P99WriteMs = write.Percentile(99)
 }
 
 // freeOp builds the trace record for a Free notification.
@@ -191,15 +219,15 @@ func (s *SSD) LogicalBytes() int64 { return s.Raw.LogicalBytes() }
 // ssdSnapshot converts the flash device's metrics; shared by the SSD
 // and OSD wrappers, which front the same model.
 func ssdSnapshot(m ssd.Metrics) Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Completed:    m.Completed,
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
 		Frees:        m.Frees,
 		Errors:       m.Errors,
-		MeanReadMs:   m.ReadResp.Mean(),
-		MeanWriteMs:  m.WriteResp.Mean(),
 	}
+	s.fillLatency(m.ReadResp, m.WriteResp)
+	return s
 }
 
 // Metrics implements Device.
@@ -263,14 +291,14 @@ func (h *HDD) LogicalBytes() int64 { return h.Raw.LogicalBytes() }
 // Metrics implements Device.
 func (h *HDD) Metrics() Snapshot {
 	m := h.Raw.Metrics()
-	return Snapshot{
+	s := Snapshot{
 		Completed:    m.Completed,
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
 		Frees:        h.frees,
-		MeanReadMs:   m.ReadResp.Mean(),
-		MeanWriteMs:  m.WriteResp.Mean(),
 	}
+	s.fillLatency(m.ReadResp, m.WriteResp)
+	return s
 }
 
 // Compile-time interface checks.

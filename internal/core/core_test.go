@@ -179,3 +179,56 @@ func TestDefaultRAIDAndMEMSConfigs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Every wrapper must report tail-latency percentiles alongside means,
+// and the percentiles must be ordered and consistent with the mean's
+// existence.
+func TestSnapshotPercentiles(t *testing.T) {
+	d := smallSSD(t)
+	if err := Precondition(d, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	if err := d.ClosedLoop(2, func(i int) (trace.Op, bool) {
+		if i >= 200 {
+			return trace.Op{}, false
+		}
+		kind := trace.Read
+		if i%2 == 0 {
+			kind = trace.Write
+		}
+		op := trace.Op{Kind: kind, Offset: off % d.LogicalBytes(), Size: 4096}
+		off += 4096
+		return op, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics()
+	if m.P50ReadMs <= 0 || m.P50WriteMs <= 0 {
+		t.Fatalf("missing percentiles: %+v", m)
+	}
+	if m.P50ReadMs > m.P95ReadMs || m.P95ReadMs > m.P99ReadMs {
+		t.Fatalf("read percentiles out of order: %+v", m)
+	}
+	if m.P50WriteMs > m.P95WriteMs || m.P95WriteMs > m.P99WriteMs {
+		t.Fatalf("write percentiles out of order: %+v", m)
+	}
+}
+
+// ProfileNames must enumerate exactly the registry, sorted.
+func TestProfileNames(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != len(ExtendedProfiles()) {
+		t.Fatalf("ProfileNames has %d entries, registry has %d", len(names), len(ExtendedProfiles()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+	for _, name := range names {
+		if _, err := ProfileByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -67,14 +67,14 @@ func (r *RAID) LogicalBytes() int64 { return r.Raw.LogicalBytes() }
 // Metrics implements Device.
 func (r *RAID) Metrics() Snapshot {
 	m := r.Raw.Metrics()
-	return Snapshot{
+	s := Snapshot{
 		Completed:    m.Completed,
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
 		Frees:        r.frees,
-		MeanReadMs:   m.ReadResp.Mean(),
-		MeanWriteMs:  m.WriteResp.Mean(),
 	}
+	s.fillLatency(m.ReadResp, m.WriteResp)
+	return s
 }
 
 // MEMS wraps the MEMS-storage model as a core.Device (Table 1's MEMS
@@ -136,14 +136,14 @@ func (m *MEMS) LogicalBytes() int64 { return m.Raw.LogicalBytes() }
 // Metrics implements Device.
 func (m *MEMS) Metrics() Snapshot {
 	mm := m.Raw.Metrics()
-	return Snapshot{
+	s := Snapshot{
 		Completed:    mm.Completed,
 		BytesRead:    mm.BytesRead,
 		BytesWritten: mm.BytesWritten,
 		Frees:        m.frees,
-		MeanReadMs:   mm.ReadResp.Mean(),
-		MeanWriteMs:  mm.WriteResp.Mean(),
 	}
+	s.fillLatency(mm.ReadResp, mm.WriteResp)
+	return s
 }
 
 // DefaultRAID is the Table 1 array: five Barracuda-class spindles,

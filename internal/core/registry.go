@@ -61,6 +61,17 @@ func ProfileByName(name string) (Profile, error) {
 	return p, nil
 }
 
+// ProfileNames returns every registered profile name, sorted — the
+// enumeration API behind ssdsim -list and the service's GET /profiles.
+func ProfileNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, len(registry.order))
+	copy(names, registry.order)
+	sort.Strings(names)
+	return names
+}
+
 // ExtendedProfiles returns every registered profile in registration
 // order: the Table 2 set, the other Table 1 device classes (MEMS, RAID),
 // the object-fronted SSD, the generic per-kind base profiles, and

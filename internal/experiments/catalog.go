@@ -1,0 +1,57 @@
+package experiments
+
+// CatalogEntry names one runnable experiment: its paper artifact ID, a
+// one-line description, and a runner taking the workload seed and the
+// worker budget for its internal fan-out.
+type CatalogEntry struct {
+	ID          string
+	Description string
+	Run         func(seed int64, workers int) (Result, error)
+}
+
+// Catalog returns every experiment in report order — the one list
+// behind cmd/repro and the service's /experiments endpoints.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{"contract", "Table 1: unwritten-contract terms probed on disk, RAID, MEMS, and SSD", func(seed int64, workers int) (Result, error) {
+			return Contract(seed, workers)
+		}},
+		{"table2", "Table 2: sequential vs random bandwidth across device profiles", func(seed int64, workers int) (Result, error) {
+			return Table2(Table2Options{Seed: seed, Workers: workers})
+		}},
+		{"swtf", "Section 3.2: SWTF vs FCFS scheduling", func(seed int64, workers int) (Result, error) {
+			return SWTF(SWTFOptions{Seed: seed, Workers: workers})
+		}},
+		{"figure2", "Figure 2: write-amplification saw-tooth (bandwidth vs write size)", func(seed int64, workers int) (Result, error) {
+			return Figure2(Figure2Options{MaxBytes: 9 << 20, Workers: workers})
+		}},
+		{"table3", "Table 3: aligned vs unaligned writes across sequentiality", func(seed int64, workers int) (Result, error) {
+			return Table3(Table3Options{Seed: seed, Workers: workers})
+		}},
+		{"table4", "Table 4: alignment improvement on macro workloads", func(seed int64, workers int) (Result, error) {
+			return Table4(Table4Options{Seed: seed, Workers: workers})
+		}},
+		{"table5", "Table 5: informed cleaning with free-page information", func(seed int64, workers int) (Result, error) {
+			return Table5(Table5Options{Seed: seed, Workers: workers})
+		}},
+		{"figure3", "Figure 3 + Table 6: priority-aware cleaning", func(seed int64, workers int) (Result, error) {
+			return Figure3(Figure3Options{Seed: seed, Workers: workers})
+		}},
+		{"schemes", "Extension: page/hybrid/block FTL mapping schemes compared", func(seed int64, workers int) (Result, error) {
+			return Schemes(seed, workers)
+		}},
+		{"lifetime", "Extension: endurance under skewed writes (wear-leveling, SLC vs MLC)", func(seed int64, workers int) (Result, error) {
+			return Lifetime(seed, workers)
+		}},
+	}
+}
+
+// CatalogEntryByID looks an experiment up by its artifact ID.
+func CatalogEntryByID(id string) (CatalogEntry, bool) {
+	for _, e := range Catalog() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return CatalogEntry{}, false
+}

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(4, 128)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { done.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if done.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", done.Load())
+	}
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := NewPool(1, 128)
+	var done atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := p.Submit(func() { done.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // must wait for every queued task
+	if done.Load() != 20 {
+		t.Fatalf("after Close: %d tasks ran, want 20", done.Load())
+	}
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close: %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolShedsLoadWhenSaturated(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is busy; the backlog (depth 1) is free
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("backlog submit: %v", err)
+	}
+	if err := p.Submit(func() {}); err != ErrPoolSaturated {
+		t.Fatalf("saturated submit: %v, want ErrPoolSaturated", err)
+	}
+	close(block)
+	p.Close()
+}

@@ -1,0 +1,83 @@
+package simsvc
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the content-addressed result cache: completed result payloads
+// keyed by JobSpec.Key, bounded by LRU eviction. Payloads are stored as
+// the exact marshaled bytes served to clients, so a hit is byte-identical
+// to the run that populated it.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	byKey   map[uint64]*list.Element
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// cacheEntry is one memoized payload.
+type cacheEntry struct {
+	key     uint64
+	payload []byte
+}
+
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &cache{cap: capacity, ll: list.New(), byKey: map[uint64]*list.Element{}}
+}
+
+// get returns the payload for key, refreshing its recency. The returned
+// slice must not be mutated.
+func (c *cache) get(key uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put memoizes a payload, evicting the least recently used entry past
+// capacity. Concurrent identical jobs may both put; last write wins with
+// an identical payload, so the race is benign.
+func (c *cache) put(key uint64, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// CacheStats is the cache's observable state (GET /statsz).
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Evicted  uint64 `json:"evicted"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evicted: c.evicted, Entries: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,236 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+
+	"ossd/internal/core"
+	"ossd/internal/experiments"
+	"ossd/internal/runner"
+	"ossd/internal/workload"
+)
+
+// writeJSON serves v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError serves an error as {"error": ...}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// profileInfo is one GET /profiles row.
+type profileInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+}
+
+// experimentInfo is one GET /experiments row.
+type experimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// experimentRequest is the optional POST /experiments/{name} body. Seed
+// is a pointer so an explicit {"seed": 0} is distinguishable from an
+// omitted field (which defaults to 1).
+type experimentRequest struct {
+	Seed    *int64 `json:"seed,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// expKey is the experiment result cache's content address. Workers is
+// deliberately excluded: experiment results are byte-identical for a
+// fixed seed regardless of worker count (the determinism tests pin
+// this), so it is not part of the result's identity.
+func expKey(name string, seed int64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "experiment|%s|%d", name, seed)
+	return h.Sum64()
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs                submit a JobSpec, get {id, status, cached}
+//	GET    /jobs/{id}           job state (+ ?wait=1 to block until terminal)
+//	DELETE /jobs/{id}           cancel a queued or running job
+//	GET    /jobs/{id}/stream    NDJSON telemetry samples until the job ends
+//	GET    /profiles            registered device profiles
+//	GET    /workloads           registered workload generators
+//	GET    /experiments         the paper's experiment catalog
+//	POST   /experiments/{name}  run one experiment (body: {seed, workers})
+//	GET    /healthz             liveness
+//	GET    /statsz              job/cache counters
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("simsvc: bad job spec: %w", err))
+			return
+		}
+		job, err := m.Submit(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, runner.ErrPoolSaturated) || errors.Is(err, runner.ErrPoolClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.view())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if r.URL.Query().Get("wait") != "" {
+			view, err := m.Wait(r.Context(), id)
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, view)
+			return
+		}
+		job, ok := m.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("simsvc: no job %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.view())
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		cancelled, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"cancelled": cancelled})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		err := m.StreamSamples(r.Context(), r.PathValue("id"), func(s Sample) error {
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		if err != nil && r.Context().Err() == nil {
+			// Nothing streamed yet iff the job ID was unknown; headers may
+			// already be out otherwise, so only the lookup error is usable.
+			writeError(w, http.StatusNotFound, err)
+		}
+	})
+
+	mux.HandleFunc("GET /profiles", func(w http.ResponseWriter, r *http.Request) {
+		var infos []profileInfo
+		for _, name := range core.ProfileNames() {
+			p, err := core.ProfileByName(name)
+			if err != nil {
+				continue // racing an unregister is impossible; be safe anyway
+			}
+			infos = append(infos, profileInfo{Name: p.Name, Kind: p.Kind.String(), Description: p.Description})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+
+	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, workload.Generators())
+	})
+
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		var infos []experimentInfo
+		for _, e := range experiments.Catalog() {
+			infos = append(infos, experimentInfo{Name: e.ID, Description: e.Description})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+
+	mux.HandleFunc("POST /experiments/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		entry, ok := experiments.CatalogEntryByID(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("simsvc: unknown experiment %q", name))
+			return
+		}
+		var req experimentRequest
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("simsvc: bad experiment request: %w", err))
+				return
+			}
+		}
+		seed := int64(1)
+		if req.Seed != nil {
+			seed = *req.Seed
+		}
+
+		// Experiment runs are deterministic from (name, seed), so they
+		// share the content-addressed cache with jobs.
+		key := expKey(entry.ID, seed)
+		if payload, ok := m.cache.get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(payload)
+			return
+		}
+
+		// Experiments fan out internally and run for seconds; bound
+		// their concurrency and shed the overflow instead of stacking
+		// unmanaged runs on handler goroutines.
+		select {
+		case m.expSem <- struct{}{}:
+			defer func() { <-m.expSem }()
+		default:
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("simsvc: an experiment is already running; retry later"))
+			return
+		}
+
+		res := ExperimentResult{Name: entry.ID, Description: entry.Description, Seed: seed}
+		value, err := entry.Run(seed, req.Workers)
+		if err != nil {
+			res.Error = err.Error()
+			writeJSON(w, http.StatusInternalServerError, res)
+			return
+		}
+		res.Report = value.String()
+		payload, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		payload = append(payload, '\n')
+		m.cache.put(key, payload)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(payload)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	return mux
+}

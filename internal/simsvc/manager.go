@@ -1,0 +1,443 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ossd/internal/core"
+	"ossd/internal/runner"
+	"ossd/internal/stats"
+	"ossd/internal/trace"
+	"ossd/internal/workload"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers bounds concurrent simulations (<= 0: runner default).
+	Workers int
+	// Backlog bounds queued jobs; submits past it are shed (<= 0: 256).
+	Backlog int
+	// CacheEntries bounds the result cache (<= 0: 1024).
+	CacheEntries int
+	// SampleEvery sets the telemetry cadence in operations (<= 0: 1000).
+	SampleEvery int
+	// RetainJobs bounds the job table (<= 0: 1024): once it is full,
+	// each submit evicts the oldest terminal job (and its telemetry).
+	// Results live on in the cache; only the job-ID handle expires.
+	RetainJobs int
+}
+
+// Job is one submitted simulation and everything observable about it.
+// All mutable fields are guarded by mu; cond broadcasts on every state
+// or sample change so pollers and stream readers wake without spinning.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	status  Status
+	cached  bool
+	errMsg  string
+	result  []byte // marshaled Result, set when status == StatusDone
+	samples []Sample
+	cancel  context.CancelFunc
+}
+
+// JobView is a job's serialized state (GET /jobs/{id}). Result holds the
+// cached payload verbatim, so identical specs yield byte-identical
+// result fields.
+type JobView struct {
+	ID      string          `json:"id"`
+	Status  Status          `json:"status"`
+	Cached  bool            `json:"cached"`
+	Error   string          `json:"error,omitempty"`
+	Samples int             `json:"samples"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// view snapshots the job under its lock.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:      j.ID,
+		Status:  j.status,
+		Cached:  j.cached,
+		Error:   j.errMsg,
+		Samples: len(j.samples),
+		Result:  json.RawMessage(j.result),
+	}
+}
+
+// transition moves the job to a new state and wakes every waiter.
+func (j *Job) transition(s Status) {
+	j.mu.Lock()
+	j.status = s
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// fail marks the job failed with the given cause.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.status = StatusFailed
+	j.errMsg = err.Error()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// addSample appends one telemetry observation.
+func (j *Job) addSample(s Sample) {
+	j.mu.Lock()
+	j.samples = append(j.samples, s)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// Manager owns the job table, the worker pool, and the result cache.
+type Manager struct {
+	opts  Options
+	pool  *runner.Pool
+	cache *cache
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // job IDs in submission order, for eviction
+	seq   int64
+
+	// expSem serializes POST /experiments runs: experiments fan out
+	// internally and are far heavier than jobs, so concurrent requests
+	// past the bound are shed instead of stacking on handler goroutines.
+	expSem chan struct{}
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	running   atomic.Int64
+}
+
+// New builds a Manager and starts its worker pool.
+func New(opts Options) *Manager {
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 1000
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runner.DefaultWorkers()
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 1024
+	}
+	return &Manager{
+		opts:   opts,
+		pool:   runner.NewPool(opts.Workers, opts.Backlog),
+		cache:  newCache(opts.CacheEntries),
+		jobs:   map[string]*Job{},
+		expSem: make(chan struct{}, 1),
+	}
+}
+
+// Submit validates a spec and enqueues it, returning the job record. A
+// cache hit completes the job immediately — no worker, no simulation —
+// with the memoized payload.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	job := &Job{Spec: spec, status: StatusQueued}
+	job.cond = sync.NewCond(&job.mu)
+
+	m.mu.Lock()
+	m.seq++
+	job.ID = fmt.Sprintf("job-%d", m.seq)
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.evictLocked()
+	m.mu.Unlock()
+	m.submitted.Add(1)
+
+	if payload, ok := m.cache.get(spec.Key()); ok {
+		job.mu.Lock()
+		job.cached = true
+		job.result = payload
+		job.status = StatusDone
+		job.cond.Broadcast()
+		job.mu.Unlock()
+		m.completed.Add(1)
+		return job, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job.mu.Lock()
+	job.cancel = cancel
+	job.mu.Unlock()
+	if err := m.pool.Submit(func() { m.run(ctx, job) }); err != nil {
+		// Shed: the caller never learns this job's ID, so drop the
+		// record too — a rejection must not grow the job table.
+		cancel()
+		m.mu.Lock()
+		delete(m.jobs, job.ID)
+		for i := len(m.order) - 1; i >= 0; i-- { // ours is at or near the end
+			if m.order[i] == job.ID {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		m.failed.Add(1)
+		return nil, err
+	}
+	return job, nil
+}
+
+// evictLocked (m.mu held) drops the oldest terminal jobs while the
+// table exceeds its bound. Live jobs are never evicted, so the table
+// can exceed the bound transiently by the number of in-flight jobs
+// (itself bounded by workers + backlog).
+func (m *Manager) evictLocked() {
+	excess := len(m.jobs) - m.opts.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		job, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		evict := false
+		if excess > 0 {
+			job.mu.Lock()
+			evict = job.status.terminal()
+			job.mu.Unlock()
+		}
+		if evict {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// run executes one job on a worker: build the device, precondition,
+// drive the sampled workload, memoize the result.
+func (m *Manager) run(ctx context.Context, job *Job) {
+	job.transition(StatusRunning)
+	m.running.Add(1)
+	defer m.running.Add(-1)
+	res, err := m.simulate(ctx, job)
+	if err != nil {
+		job.fail(err)
+		m.failed.Add(1)
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		job.fail(err)
+		m.failed.Add(1)
+		return
+	}
+	m.cache.put(job.Spec.Key(), payload)
+	job.mu.Lock()
+	job.result = payload
+	job.status = StatusDone
+	job.cond.Broadcast()
+	job.mu.Unlock()
+	m.completed.Add(1)
+}
+
+// simulate is the deterministic part of run: everything that feeds the
+// result payload depends only on the spec.
+func (m *Manager) simulate(ctx context.Context, job *Job) (Result, error) {
+	spec := job.Spec
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	opts, err := spec.Options.build()
+	if err != nil {
+		return Result{}, err
+	}
+	dev, err := core.Open(spec.Profile, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.PreconditionFrac > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if err := core.PreconditionFrac(dev, 1<<20, spec.PreconditionFrac); err != nil {
+			return Result{}, err
+		}
+	}
+	stream, err := workload.NewStream(spec.Workload, spec.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.OpLimit > 0 {
+		stream = trace.Limit(stream, spec.OpLimit)
+	}
+	// Shift trace timestamps past the preconditioning window and tally
+	// the workload summary as ops flow by.
+	var wl trace.Stats
+	stream = trace.Tally(trace.Shift(stream, dev.Engine().Now()), &wl)
+
+	start := dev.Engine().Now()
+	before := dev.Metrics()
+	if _, err := DriveSampled(ctx, dev, stream, m.opts.SampleEvery, job.addSample); err != nil {
+		return Result{}, err
+	}
+	elapsed := (dev.Engine().Now() - start).Seconds()
+	after := dev.Metrics()
+	return Result{
+		Spec:             spec,
+		Snapshot:         after,
+		Workload:         wl,
+		SimulatedSeconds: elapsed,
+		ReadMBps:         stats.Bandwidth(after.BytesRead-before.BytesRead, elapsed),
+		WriteMBps:        stats.Bandwidth(after.BytesWritten-before.BytesWritten, elapsed),
+	}, nil
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a queued or running job. The job
+// transitions to failed (context.Canceled) at its next op boundary.
+// Cancelling a terminal job is a no-op reporting false.
+func (m *Manager) Cancel(id string) (bool, error) {
+	job, ok := m.Job(id)
+	if !ok {
+		return false, fmt.Errorf("simsvc: no job %q", id)
+	}
+	job.mu.Lock()
+	cancel := job.cancel
+	live := !job.status.terminal()
+	job.mu.Unlock()
+	if live && cancel != nil {
+		cancel()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns its view.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	job, ok := m.Job(id)
+	if !ok {
+		return JobView{}, fmt.Errorf("simsvc: no job %q", id)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		job.mu.Lock()
+		job.cond.Broadcast()
+		job.mu.Unlock()
+	})
+	defer stop()
+	job.mu.Lock()
+	for !job.status.terminal() && ctx.Err() == nil {
+		job.cond.Wait()
+	}
+	job.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return JobView{}, err
+	}
+	return job.view(), nil
+}
+
+// StreamSamples replays the job's telemetry from the beginning and then
+// tails it live, calling fn for each sample in order, until the job is
+// terminal and fully delivered, fn errors (client gone), or ctx ends.
+// A subscriber that connects after the job finished still receives every
+// retained sample.
+func (m *Manager) StreamSamples(ctx context.Context, id string, fn func(Sample) error) error {
+	job, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("simsvc: no job %q", id)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		job.mu.Lock()
+		job.cond.Broadcast()
+		job.mu.Unlock()
+	})
+	defer stop()
+	i := 0
+	for {
+		job.mu.Lock()
+		for i >= len(job.samples) && !job.status.terminal() && ctx.Err() == nil {
+			job.cond.Wait()
+		}
+		pending := job.samples[i:]
+		done := job.status.terminal()
+		job.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, s := range pending {
+			if err := fn(s); err != nil {
+				return err
+			}
+			i++
+		}
+		if done && len(pending) == 0 {
+			return nil
+		}
+	}
+}
+
+// Stats is the service's aggregate state (GET /statsz).
+type Stats struct {
+	Workers       int        `json:"workers"`
+	SampleEvery   int        `json:"sample_every"`
+	JobsSubmitted int64      `json:"jobs_submitted"`
+	JobsRunning   int64      `json:"jobs_running"`
+	JobsCompleted int64      `json:"jobs_completed"`
+	JobsFailed    int64      `json:"jobs_failed"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats reports the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Workers:       m.opts.Workers,
+		SampleEvery:   m.opts.SampleEvery,
+		JobsSubmitted: m.submitted.Load(),
+		JobsRunning:   m.running.Load(),
+		JobsCompleted: m.completed.Load(),
+		JobsFailed:    m.failed.Load(),
+		Cache:         m.cache.stats(),
+	}
+}
+
+// CancelAll cancels every queued and running job: each stops at its
+// next op boundary and reports failed, waking its waiters and stream
+// subscribers. Called ahead of HTTP shutdown so blocked ?wait=1 and
+// /stream handlers complete with responses instead of being cut off.
+func (m *Manager) CancelAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, job := range m.jobs {
+		job.mu.Lock()
+		if cancel := job.cancel; cancel != nil && !job.status.terminal() {
+			cancel()
+		}
+		job.mu.Unlock()
+	}
+}
+
+// Close shuts the manager down gracefully: in-flight jobs are cancelled
+// (they stop at their next op boundary and report failed), the queue
+// drains, and the workers exit.
+func (m *Manager) Close() {
+	m.CancelAll()
+	m.pool.Close()
+}

@@ -1,0 +1,202 @@
+// Package simsvc is the simulation-as-a-service subsystem: it turns the
+// library's deterministic what-if engine — any registered device profile
+// driven by any named workload generator — into an on-demand job service.
+// Three parts compose it:
+//
+//   - a job manager (Manager): submit a JobSpec, get a job ID; jobs fan
+//     out over a bounded worker pool (internal/runner.Pool) with context
+//     cancellation, per-job status, and graceful shutdown;
+//   - a content-addressed result cache: the canonical JSON encoding of a
+//     JobSpec is FNV-hashed and completed result payloads are memoized
+//     under an LRU bound, so identical requests are served from memory
+//     byte-for-byte — sound because simulations are deterministic;
+//   - a telemetry stream: while a job runs, a sampler observes the
+//     device every N operations and emits core.Snapshot samples, served
+//     as NDJSON over GET /jobs/{id}/stream.
+//
+// cmd/simd wraps the HTTP handler (see Manager.Handler) in a server.
+package simsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"ossd/internal/core"
+	"ossd/internal/ftl"
+	"ossd/internal/sched"
+	"ossd/internal/trace"
+	"ossd/internal/workload"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued means the job is waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning means a worker is driving the simulation.
+	StatusRunning Status = "running"
+	// StatusDone means the job completed and its result is available.
+	StatusDone Status = "done"
+	// StatusFailed means the job errored or was cancelled.
+	StatusFailed Status = "failed"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s Status) terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// ProfileOptions is the JSON-friendly subset of the registry's
+// functional options a job may apply to its device profile.
+type ProfileOptions struct {
+	// CapacityBytes scales the device (core.WithCapacity).
+	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+	// QueueDepth sets all four benchmark depths (core.WithQueueDepth).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// Scheme selects the FTL mapping: "page", "block", or "hybrid".
+	Scheme string `json:"scheme,omitempty"`
+	// StripeBytes selects full-stripe layout / RAID stripe unit.
+	StripeBytes int64 `json:"stripe_bytes,omitempty"`
+	// Scheduler selects the dispatch policy: "fcfs" or "swtf".
+	Scheduler string `json:"scheduler,omitempty"`
+	// Informed enables informed cleaning (§3.5).
+	Informed bool `json:"informed,omitempty"`
+	// PriorityAware enables priority-aware cleaning (§3.6).
+	PriorityAware bool `json:"priority_aware,omitempty"`
+}
+
+// build translates the JSON options into registry options.
+func (o ProfileOptions) build() ([]core.Option, error) {
+	var opts []core.Option
+	if o.CapacityBytes > 0 {
+		opts = append(opts, core.WithCapacity(o.CapacityBytes))
+	}
+	if o.QueueDepth > 0 {
+		opts = append(opts, core.WithQueueDepth(o.QueueDepth))
+	}
+	switch o.Scheme {
+	case "":
+	case "page":
+		opts = append(opts, core.WithScheme(ftl.PageMapped))
+	case "block":
+		opts = append(opts, core.WithScheme(ftl.BlockMapped))
+	case "hybrid":
+		opts = append(opts, core.WithScheme(ftl.HybridLog))
+	default:
+		return nil, fmt.Errorf("simsvc: unknown scheme %q", o.Scheme)
+	}
+	if o.StripeBytes > 0 {
+		opts = append(opts, core.WithStripe(o.StripeBytes))
+	}
+	switch o.Scheduler {
+	case "":
+	case "fcfs":
+		opts = append(opts, core.WithScheduler(sched.FCFS))
+	case "swtf":
+		opts = append(opts, core.WithScheduler(sched.SWTF))
+	default:
+		return nil, fmt.Errorf("simsvc: unknown scheduler %q", o.Scheduler)
+	}
+	if o.Informed {
+		opts = append(opts, core.WithInformed(true))
+	}
+	if o.PriorityAware {
+		opts = append(opts, core.WithPriorityAware(true))
+	}
+	return opts, nil
+}
+
+// JobSpec is one simulation request: which device, how it is tuned,
+// which workload drives it, and how far. Specs are the cache identity —
+// two equal specs produce byte-identical results.
+type JobSpec struct {
+	// Profile names a registered device profile (GET /profiles).
+	Profile string `json:"profile"`
+	// Options tunes the profile before the device is built.
+	Options ProfileOptions `json:"options"`
+	// Workload names a registered generator (GET /workloads).
+	Workload string `json:"workload"`
+	// Params parameterizes the generator, including the seed.
+	Params workload.GenParams `json:"params"`
+	// OpLimit caps the stream (0 = drive it to exhaustion).
+	OpLimit int `json:"op_limit,omitempty"`
+	// PreconditionFrac fills this fraction of the device before the
+	// measured run (0 = start on a fresh device).
+	PreconditionFrac float64 `json:"precondition_frac,omitempty"`
+}
+
+// validate checks that the spec names things that exist and that its
+// knobs are in range, so bad requests fail at submit, not on a worker.
+func (s *JobSpec) validate() error {
+	if _, err := core.ProfileByName(s.Profile); err != nil {
+		return err
+	}
+	ok := false
+	for _, name := range workload.Generators() {
+		if name == s.Workload {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("simsvc: unknown workload %q (have %v)", s.Workload, workload.Generators())
+	}
+	if _, err := s.Options.build(); err != nil {
+		return err
+	}
+	if s.OpLimit < 0 {
+		return fmt.Errorf("simsvc: negative op limit %d", s.OpLimit)
+	}
+	if s.PreconditionFrac < 0 || s.PreconditionFrac > 1 {
+		return fmt.Errorf("simsvc: precondition fraction %v out of [0, 1]", s.PreconditionFrac)
+	}
+	return nil
+}
+
+// Key is the spec's content address: FNV-1a over its canonical JSON
+// encoding (struct fields marshal in declaration order, so equal specs
+// hash equally), matching the fingerprint style of the golden workload
+// tests.
+func (s JobSpec) Key() uint64 {
+	canonical, err := json.Marshal(s)
+	if err != nil {
+		// Specs are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("simsvc: marshal spec: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(canonical)
+	return h.Sum64()
+}
+
+// Result is a completed job's payload: the spec it answers, the final
+// device snapshot (with tail-latency percentiles), the workload summary,
+// and window bandwidths over the driven (post-precondition) phase.
+type Result struct {
+	Spec             JobSpec       `json:"spec"`
+	Snapshot         core.Snapshot `json:"snapshot"`
+	Workload         trace.Stats   `json:"workload"`
+	SimulatedSeconds float64       `json:"simulated_seconds"`
+	ReadMBps         float64       `json:"read_mbps"`
+	WriteMBps        float64       `json:"write_mbps"`
+}
+
+// Sample is one telemetry observation taken while a job runs.
+type Sample struct {
+	// Ops counts operations pulled from the workload stream so far.
+	Ops int64 `json:"ops"`
+	// SimulatedSeconds is the device clock at observation time.
+	SimulatedSeconds float64 `json:"simulated_seconds"`
+	// Snapshot is the device's metrics at observation time.
+	Snapshot core.Snapshot `json:"snapshot"`
+}
+
+// ExperimentResult is the service (and cmd/repro -json) encoding of one
+// paper experiment's run.
+type ExperimentResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Seed        int64  `json:"seed"`
+	// Report is the experiment's rendering in the paper's format.
+	Report string `json:"report,omitempty"`
+	Error  string `json:"error,omitempty"`
+}

@@ -1,0 +1,416 @@
+package simsvc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ossd/internal/core"
+	"ossd/internal/workload"
+)
+
+// smallSpec is a job small enough for unit tests but large enough to
+// cross several telemetry sample boundaries. Arrivals are paced at a
+// rate the base SSD sustains (50 µs mean): an open-loop storm the
+// device cannot absorb piles the whole workload into its pending
+// queue, which the SWTF scheduler scans per dispatch — correct but
+// quadratic, and not what these tests are about.
+func smallSpec(ops int, seed int64) JobSpec {
+	return JobSpec{
+		Profile:  "ssd",
+		Workload: "synthetic",
+		Params: workload.GenParams{
+			Ops:                ops,
+			CapacityBytes:      4 << 20,
+			ReadFrac:           0.5,
+			MeanInterarrivalUs: 50,
+			Seed:               seed,
+		},
+	}
+}
+
+func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) JobView {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs: %d: %s", resp.StatusCode, b)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func waitJob(t *testing.T, srv *httptest.Server, id string) JobView {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/jobs/" + id + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /jobs/%s?wait=1: %d: %s", id, resp.StatusCode, b)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// TestEndToEnd is the acceptance path: submit → poll → stream → verify
+// the final snapshot, all over HTTP.
+func TestEndToEnd(t *testing.T) {
+	m := New(Options{Workers: 2, SampleEvery: 1000})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	const ops = 100_000
+	submitted := postJob(t, srv, smallSpec(ops, 1))
+	if submitted.ID == "" || submitted.Cached {
+		t.Fatalf("bad submit view: %+v", submitted)
+	}
+
+	view := waitJob(t, srv, submitted.ID)
+	if view.Status != StatusDone {
+		t.Fatalf("status %s (error %q), want done", view.Status, view.Error)
+	}
+	var res Result
+	if err := json.Unmarshal(view.Result, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if res.Workload.Ops != ops {
+		t.Fatalf("workload drove %d ops, want %d", res.Workload.Ops, ops)
+	}
+	if res.Snapshot.Completed != ops {
+		t.Fatalf("snapshot completed %d, want %d", res.Snapshot.Completed, ops)
+	}
+	if res.Snapshot.P99ReadMs < res.Snapshot.P50ReadMs || res.Snapshot.P50ReadMs <= 0 {
+		t.Fatalf("implausible read percentiles: %+v", res.Snapshot)
+	}
+	if res.SimulatedSeconds <= 0 || res.WriteMBps <= 0 {
+		t.Fatalf("implausible rates: sim %vs write %v MB/s", res.SimulatedSeconds, res.WriteMBps)
+	}
+
+	// Stream after completion: the retained telemetry replays in full.
+	resp, err := http.Get(srv.URL + "/jobs/" + submitted.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var samples []Sample
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var s Sample
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("stream yielded %d samples for a %d-op job, want >= 2", len(samples), ops)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Ops < samples[i-1].Ops || samples[i].Snapshot.Completed < samples[i-1].Snapshot.Completed {
+			t.Fatalf("samples regressed: %+v then %+v", samples[i-1], samples[i])
+		}
+	}
+	if last := samples[len(samples)-1]; last.Ops != ops {
+		t.Fatalf("final sample at %d ops, want %d", last.Ops, ops)
+	}
+}
+
+// TestCacheHit pins the content-addressed cache contract: the second
+// identical submission is served from memory with a byte-identical
+// result payload.
+func TestCacheHit(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := smallSpec(20_000, 7)
+	first := postJob(t, srv, spec)
+	firstDone := waitJob(t, srv, first.ID)
+	if firstDone.Status != StatusDone || firstDone.Cached {
+		t.Fatalf("first run: %+v", firstDone)
+	}
+
+	second := postJob(t, srv, spec)
+	if !second.Cached {
+		t.Fatalf("second identical submission not served from cache: %+v", second)
+	}
+	if second.Status != StatusDone {
+		t.Fatalf("cached job status %s, want done", second.Status)
+	}
+	if !bytes.Equal(firstDone.Result, second.Result) {
+		t.Fatalf("cached payload differs:\n%s\nvs\n%s", firstDone.Result, second.Result)
+	}
+
+	// A different seed is a different content address.
+	third := postJob(t, srv, smallSpec(20_000, 8))
+	if third.Cached {
+		t.Fatal("distinct spec hit the cache")
+	}
+	if waitJob(t, srv, third.ID).Status != StatusDone {
+		t.Fatal("third job failed")
+	}
+
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits != 1 {
+		t.Fatalf("cache hits %d, want 1 (stats %+v)", st.Cache.Hits, st)
+	}
+	if st.JobsSubmitted != 3 || st.JobsCompleted != 3 {
+		t.Fatalf("job counters off: %+v", st)
+	}
+}
+
+// TestCancel kills an in-flight job and checks it lands in failed with
+// the cancellation cause, promptly.
+func TestCancel(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 200})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// Big enough that it cannot finish before the cancel lands.
+	view := postJob(t, srv, smallSpec(5_000_000, 3))
+
+	// Wait until it is demonstrably in flight: at least one sample.
+	job, ok := m.Job(view.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if v := job.view(); v.Samples > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job produced no samples")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+view.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cancelResp map[string]bool
+	if err := json.NewDecoder(resp.Body).Decode(&cancelResp); err != nil {
+		t.Fatal(err)
+	}
+	if !cancelResp["cancelled"] {
+		t.Fatalf("cancel refused: %+v", cancelResp)
+	}
+
+	done := waitJob(t, srv, view.ID)
+	if done.Status != StatusFailed {
+		t.Fatalf("cancelled job status %s, want failed", done.Status)
+	}
+	if !strings.Contains(done.Error, context.Canceled.Error()) {
+		t.Fatalf("cancelled job error %q, want %q", done.Error, context.Canceled)
+	}
+	if len(done.Result) != 0 {
+		t.Fatal("cancelled job has a result")
+	}
+}
+
+// TestStreamLiveTail subscribes before the job finishes and still sees
+// the whole sample sequence.
+func TestStreamLiveTail(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 500})
+	defer m.Close()
+
+	job, err := m.Submit(smallSpec(50_000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var got []Sample
+	if err := m.StreamSamples(ctx, job.ID, func(s Sample) error {
+		got = append(got, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 50k ops / 500 per sample + the final one.
+	if len(got) != 101 {
+		t.Fatalf("tailed %d samples, want 101", len(got))
+	}
+}
+
+// TestJobRetention pins the job-table bound: terminal jobs past
+// RetainJobs are evicted oldest-first, live ones survive.
+func TestJobRetention(t *testing.T) {
+	m := New(Options{Workers: 1, RetainJobs: 2})
+	defer m.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		// Distinct seeds so no submission is served from the cache.
+		job, err := m.Submit(smallSpec(2_000, int64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Wait(context.Background(), job.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	if _, ok := m.Job(ids[0]); ok {
+		t.Fatalf("oldest job %s survived past RetainJobs=2", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, ok := m.Job(id); !ok {
+			t.Fatalf("recent job %s evicted", id)
+		}
+	}
+
+	m.mu.Lock()
+	n, o := len(m.jobs), len(m.order)
+	m.mu.Unlock()
+	if n != 2 || o != 2 {
+		t.Fatalf("job table %d entries, order %d, want 2", n, o)
+	}
+}
+
+// TestSubmitValidation rejects unknown names at submit time.
+func TestSubmitValidation(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	if _, err := m.Submit(JobSpec{Profile: "nope", Workload: "synthetic"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	spec := smallSpec(10, 1)
+	spec.Workload = "nope"
+	if _, err := m.Submit(spec); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	spec = smallSpec(10, 1)
+	spec.Options.Scheme = "quantum"
+	if _, err := m.Submit(spec); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestSpecKey pins that the content address tracks spec content.
+func TestSpecKey(t *testing.T) {
+	a, b := smallSpec(100, 1), smallSpec(100, 1)
+	if a.Key() != b.Key() {
+		t.Fatal("equal specs hash differently")
+	}
+	b.Params.Seed = 2
+	if a.Key() == b.Key() {
+		t.Fatal("different seeds hash equally")
+	}
+}
+
+// TestCacheLRU pins the eviction bound.
+func TestCacheLRU(t *testing.T) {
+	c := newCache(2)
+	c.put(1, []byte("a"))
+	c.put(2, []byte("b"))
+	if _, ok := c.get(1); !ok { // refresh 1; 2 becomes LRU
+		t.Fatal("missing entry 1")
+	}
+	c.put(3, []byte("c"))
+	if _, ok := c.get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("recently used entry 1 evicted")
+	}
+	st := c.stats()
+	if st.Evicted != 1 || st.Entries != 2 {
+		t.Fatalf("cache stats %+v", st)
+	}
+}
+
+// TestDiscoveryEndpoints spot-checks /profiles, /workloads,
+// /experiments, and /healthz.
+func TestDiscoveryEndpoints(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var profiles []profileInfo
+	getJSON("/profiles", &profiles)
+	if len(profiles) != len(core.ProfileNames()) {
+		t.Fatalf("profiles: got %d, registry has %d", len(profiles), len(core.ProfileNames()))
+	}
+
+	var workloads []string
+	getJSON("/workloads", &workloads)
+	if fmt.Sprint(workloads) != fmt.Sprint(workload.Generators()) {
+		t.Fatalf("workloads %v != generators %v", workloads, workload.Generators())
+	}
+
+	var exps []experimentInfo
+	getJSON("/experiments", &exps)
+	if len(exps) != 10 {
+		t.Fatalf("experiments: got %d, want 10", len(exps))
+	}
+
+	var health map[string]string
+	getJSON("/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %v", health)
+	}
+}

@@ -76,18 +76,19 @@ func (o Op) Validate() error {
 	return nil
 }
 
-// Stats summarizes a trace.
+// Stats summarizes a trace. The JSON tags are the service serialization
+// (internal/simsvc); Duration counts simulated nanoseconds.
 type Stats struct {
-	Ops         int
-	Reads       int
-	Writes      int
-	Frees       int
-	ReadBytes   int64
-	WriteBytes  int64
-	FreedBytes  int64
-	Duration    sim.Time
-	MaxOffset   int64
-	PriorityOps int
+	Ops         int      `json:"ops"`
+	Reads       int      `json:"reads"`
+	Writes      int      `json:"writes"`
+	Frees       int      `json:"frees"`
+	ReadBytes   int64    `json:"read_bytes"`
+	WriteBytes  int64    `json:"write_bytes"`
+	FreedBytes  int64    `json:"freed_bytes"`
+	Duration    sim.Time `json:"duration_ns"`
+	MaxOffset   int64    `json:"max_offset"`
+	PriorityOps int      `json:"priority_ops"`
 }
 
 // add folds one operation into the summary.

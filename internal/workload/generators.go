@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"ossd/internal/sim"
+	"ossd/internal/trace"
+)
+
+// GenParams is the unified parameter block every named generator accepts:
+// one JSON-friendly struct instead of six config types, so callers that
+// select generators by name (cmd/tracegen, cmd/ssdsim, the simsvc API)
+// need no per-generator switch. Each generator reads the fields that
+// apply to it and falls back to its usual defaults for the rest.
+type GenParams struct {
+	// Ops is the operation count (synthetic, tpcc, exchange, seqwrites).
+	Ops int `json:"ops,omitempty"`
+	// Transactions is the transaction count (postmark).
+	Transactions int `json:"transactions,omitempty"`
+	// CapacityBytes is the address space / file-system capacity targeted
+	// (synthetic, postmark, tpcc, exchange, seqwrites).
+	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+	// ReqBytes is the per-op request size (synthetic, seqwrites;
+	// default 4096 for synthetic, 1 MiB for seqwrites).
+	ReqBytes int64 `json:"req_bytes,omitempty"`
+	// ReadFrac is the read fraction (synthetic).
+	ReadFrac float64 `json:"read_frac,omitempty"`
+	// SeqProb is the sequentiality probability (synthetic).
+	SeqProb float64 `json:"seq_prob,omitempty"`
+	// PriorityFrac marks this fraction of ops as priority (synthetic).
+	PriorityFrac float64 `json:"priority_frac,omitempty"`
+	// FileBytes is the test file size (iozone).
+	FileBytes int64 `json:"file_bytes,omitempty"`
+	// RecordBytes is the I/O unit (iozone; default 128 KiB).
+	RecordBytes int64 `json:"record_bytes,omitempty"`
+	// MeanInterarrivalUs is the mean inter-arrival time in microseconds;
+	// 0 means back-to-back. The synthetic generator draws uniformly from
+	// [0, 2·mean]; the macro generators draw exponentially — exactly what
+	// cmd/tracegen always did for each.
+	MeanInterarrivalUs int64 `json:"mean_interarrival_us,omitempty"`
+	// Seed selects the random stream.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// mean returns the configured mean inter-arrival as a sim duration.
+func (p GenParams) mean() sim.Time { return sim.Time(p.MeanInterarrivalUs) * sim.Microsecond }
+
+// generators maps workload names to stream constructors: the lookup
+// table behind Generators and NewStream.
+var generators = map[string]func(GenParams) (trace.Stream, error){
+	"synthetic": func(p GenParams) (trace.Stream, error) {
+		if p.ReqBytes == 0 {
+			p.ReqBytes = 4096
+		}
+		return Synthetic(SyntheticConfig{
+			Ops:            p.Ops,
+			AddressSpace:   p.CapacityBytes,
+			ReadFrac:       p.ReadFrac,
+			SeqProb:        p.SeqProb,
+			ReqSize:        p.ReqBytes,
+			InterarrivalLo: 0,
+			InterarrivalHi: 2 * p.mean(),
+			PriorityFrac:   p.PriorityFrac,
+			Seed:           p.Seed,
+		})
+	},
+	"postmark": func(p GenParams) (trace.Stream, error) {
+		return Postmark(PostmarkConfig{
+			Transactions:     p.Transactions,
+			CapacityBytes:    p.CapacityBytes,
+			MeanInterarrival: p.mean(),
+			Seed:             p.Seed,
+		})
+	},
+	"tpcc": func(p GenParams) (trace.Stream, error) {
+		return TPCC(OLTPConfig{
+			Ops:              p.Ops,
+			CapacityBytes:    p.CapacityBytes,
+			MeanInterarrival: p.mean(),
+			Seed:             p.Seed,
+		})
+	},
+	"exchange": func(p GenParams) (trace.Stream, error) {
+		return Exchange(ExchangeConfig{
+			Ops:              p.Ops,
+			CapacityBytes:    p.CapacityBytes,
+			MeanInterarrival: p.mean(),
+			Seed:             p.Seed,
+		})
+	},
+	"iozone": func(p GenParams) (trace.Stream, error) {
+		return IOzone(IOzoneConfig{
+			FileBytes:        p.FileBytes,
+			RecordBytes:      p.RecordBytes,
+			MeanInterarrival: p.mean(),
+			Seed:             p.Seed,
+		})
+	},
+	"seqwrites": func(p GenParams) (trace.Stream, error) {
+		if p.Ops <= 0 || p.CapacityBytes <= 0 {
+			return nil, fmt.Errorf("workload: seqwrites needs ops and capacity")
+		}
+		if p.ReqBytes == 0 {
+			p.ReqBytes = 1 << 20
+		}
+		return SequentialWrites(p.Ops, p.ReqBytes, p.CapacityBytes), nil
+	},
+}
+
+// Generators returns the registered workload names, sorted.
+func Generators() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewStream builds the named generator's stream from the unified
+// parameter block.
+func NewStream(name string, p GenParams) (trace.Stream, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown generator %q (have %v)", name, Generators())
+	}
+	return gen(p)
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -355,5 +356,57 @@ func TestPostmarkMetadataStream(t *testing.T) {
 		if o.Offset >= int64(16<<20) {
 			t.Fatal("NoMetadata trace exceeded capacity")
 		}
+	}
+}
+
+// The name->constructor registry must cover every generator and produce
+// exactly what the direct constructors produce for equivalent configs.
+func TestGeneratorRegistry(t *testing.T) {
+	want := []string{"exchange", "iozone", "postmark", "seqwrites", "synthetic", "tpcc"}
+	if got := fmt.Sprint(Generators()); got != fmt.Sprint(want) {
+		t.Fatalf("Generators() = %v, want %v", Generators(), want)
+	}
+
+	if _, err := NewStream("nope", GenParams{}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+
+	// Registry synthetic == direct Synthetic with the uniform [0, 2*mean]
+	// inter-arrival tracegen always used.
+	direct, err := Synthetic(SyntheticConfig{
+		Ops: 500, AddressSpace: 1 << 22, ReqSize: 4096, ReadFrac: 0.5,
+		InterarrivalLo: 0, InterarrivalHi: 200 * sim.Microsecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaName, err := NewStream("synthetic", GenParams{
+		Ops: 500, CapacityBytes: 1 << 22, ReadFrac: 0.5,
+		MeanInterarrivalUs: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(direct), trace.Collect(viaName)) {
+		t.Fatal("registry synthetic diverged from direct constructor")
+	}
+
+	// Registry postmark == direct Postmark.
+	dpm, err := Postmark(PostmarkConfig{
+		Transactions: 400, CapacityBytes: 16 << 20,
+		MeanInterarrival: 100 * sim.Microsecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	npm, err := NewStream("postmark", GenParams{
+		Transactions: 400, CapacityBytes: 16 << 20,
+		MeanInterarrivalUs: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Collect(dpm), trace.Collect(npm)) {
+		t.Fatal("registry postmark diverged from direct constructor")
 	}
 }
