@@ -500,6 +500,89 @@ func BenchmarkDriveStream1M(b *testing.B) {
 	}
 }
 
+// ---- dispatch-path benchmarks: the indexed scheduler vs the scan ----
+
+// dispatchPayload stands in for the *ssd.Request payload a real queue
+// carries; pointers avoid interface boxing in the benchmark loop.
+type dispatchPayload struct{ elem int }
+
+// BenchmarkDispatchSWTF measures one steady-state SWTF dispatch decision
+// on the indexed sched.Queue — pop the winner, mark its element busy,
+// push a replacement — at fixed pending depths. The depth barely moves
+// the cost (heap operations are O(log n)) and the pick path must not
+// allocate: this is the tentpole contract of the indexed scheduler.
+func BenchmarkDispatchSWTF(b *testing.B) {
+	for _, depth := range []int{1024, 16384, 65536} {
+		name := map[int]string{1024: "1k", 16384: "16k", 65536: "64k"}[depth]
+		b.Run(name, func(b *testing.B) {
+			const elements = 64
+			q := sched.NewQueue(sched.SWTF, elements)
+			elems := make([][]int, elements)
+			payloads := make([]*dispatchPayload, elements)
+			for e := 0; e < elements; e++ {
+				elems[e] = []int{e}
+				payloads[e] = &dispatchPayload{elem: e}
+			}
+			for i := 0; i < depth; i++ {
+				q.Push(elems[i%elements], payloads[i%elements])
+			}
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, ok := q.Pop(now)
+				if !ok {
+					b.Fatal("steady-state pop failed")
+				}
+				e := data.(*dispatchPayload).elem
+				q.SetBusy(e, now+1)
+				q.Push(elems[i%elements], payloads[i%elements])
+				now++
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchSWTFScan replays the pre-refactor dispatch machinery
+// at the same depths: rebuild the entries slice (the per-pick allocation
+// the old device paid), scan it with sched.Pick, and compact the pending
+// slice by index. Its ratio to BenchmarkDispatchSWTF is the refactor's
+// speedup; the acceptance floor is 10x at 64k.
+func BenchmarkDispatchSWTFScan(b *testing.B) {
+	for _, depth := range []int{1024, 16384, 65536} {
+		name := map[int]string{1024: "1k", 16384: "16k", 65536: "64k"}[depth]
+		b.Run(name, func(b *testing.B) {
+			const elements = 64
+			busy := make([]sim.Time, elements)
+			pending := make([]*sched.Entry, 0, depth)
+			seq := uint64(0)
+			for i := 0; i < depth; i++ {
+				seq++
+				pending = append(pending, &sched.Entry{Elems: []int{i % elements}, Seq: seq})
+			}
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The scan-era device copied its pending jobs into a fresh
+				// entries slice on every pick.
+				entries := make([]*sched.Entry, len(pending))
+				copy(entries, pending)
+				idx := sched.Pick(sched.SWTF, entries, busy, now)
+				if idx < 0 {
+					b.Fatal("steady-state pick failed")
+				}
+				// Elements stay idle so every pick dispatches, matching the
+				// indexed benchmark's steady state.
+				pending = append(pending[:idx], pending[idx+1:]...)
+				seq++
+				pending = append(pending, &sched.Entry{Elems: []int{i % elements}, Seq: seq})
+				now++
+			}
+		})
+	}
+}
+
 // BenchmarkExtensionSchemes regenerates the FTL-scheme comparison.
 func BenchmarkExtensionSchemes(b *testing.B) {
 	for i := 0; i < b.N; i++ {

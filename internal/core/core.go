@@ -37,7 +37,10 @@ type Device interface {
 	// an op whose timestamp is in the past is submitted immediately, so
 	// out-of-order traces replay in stream order, not timestamp order.
 	// Operations are pulled one at a time, so memory stays constant in
-	// the stream's length.
+	// the stream's length. Devices built with WithMaxPending additionally
+	// apply admission control: once that many requests are outstanding,
+	// further arrivals are paced to completions instead of piling up
+	// unbounded queue state.
 	Drive(s trace.Stream) error
 	// Play replays a timestamped trace to completion. Equivalent to
 	// Drive(trace.FromSlice(ops)), including the nondecreasing-timestamp
@@ -50,6 +53,9 @@ type Device interface {
 	Engine() *sim.Engine
 	// LogicalBytes reports the usable capacity.
 	LogicalBytes() int64
+	// QueueDepth reports requests accepted by the device but not yet
+	// dispatched to media — the backlog admission control bounds.
+	QueueDepth() int
 	// Metrics reports a device-independent snapshot of activity so far.
 	Metrics() Snapshot
 }
@@ -105,6 +111,17 @@ func freeOp(off, size int64) trace.Op {
 	return trace.Op{Kind: trace.Free, Offset: off, Size: size}
 }
 
+// driveConfig carries the Drive-time knobs every wrapper embeds; the
+// shared setter is how Profile.NewDevice applies WithMaxPending to any
+// wrapper without per-type plumbing.
+type driveConfig struct {
+	// MaxPending bounds the requests outstanding during Drive/Play; 0
+	// means unbounded (see WithMaxPending).
+	MaxPending int
+}
+
+func (c *driveConfig) setMaxPending(n int) { c.MaxPending = n }
+
 // ---- shared workload loops ----
 //
 // Every wrapper implements Drive, Play, and ClosedLoop through the three
@@ -116,7 +133,18 @@ func freeOp(off, size int64) trace.Op {
 // nondecreasing), and runs the engine until the device drains. Only one
 // pending arrival exists at any moment, so driving a million-op stream
 // holds one Op in memory, not a million.
-func drive(d Device, s trace.Stream) error {
+//
+// maxPending > 0 enables admission control: once that many requests are
+// outstanding (submitted, not yet completed), the next arrival is held
+// and submitted at the completion that frees a slot — an open-loop storm
+// the device cannot absorb degrades into pacing instead of unbounded
+// queue growth. Ops are never shed; with a bound, arrivals can complete
+// later than their trace timestamps. maxPending <= 0 is the unbounded
+// legacy behavior.
+func drive(d Device, s trace.Stream, maxPending int) error {
+	if maxPending > 0 {
+		return driveBounded(d, s, maxPending)
+	}
 	eng := d.Engine()
 	var firstErr error
 	var next func()
@@ -133,6 +161,63 @@ func drive(d Device, s trace.Stream) error {
 			if err := d.Submit(op, nil); err != nil && firstErr == nil {
 				firstErr = err
 			}
+			next()
+		})
+	}
+	next()
+	eng.Run()
+	if firstErr == nil {
+		firstErr = trace.Err(s)
+	}
+	return firstErr
+}
+
+// driveBounded is drive with admission control. Every op is submitted
+// with a completion callback that maintains the outstanding count; when
+// an arrival finds the window full, it parks (held/heldOp) until a
+// completion drains the window below the bound, then resumes the pull
+// loop. Determinism is preserved: completions are simulation events, so
+// the paced arrival times are a pure function of the workload.
+func driveBounded(d Device, s trace.Stream, maxPending int) error {
+	eng := d.Engine()
+	var firstErr error
+	outstanding := 0
+	held := false
+	var heldOp trace.Op
+	var next func()
+	var submit func(op trace.Op)
+	submit = func(op trace.Op) {
+		outstanding++
+		err := d.Submit(op, func(sim.Time, error) {
+			outstanding--
+			if held && outstanding < maxPending {
+				held = false
+				submit(heldOp)
+				next()
+			}
+		})
+		if err != nil {
+			outstanding--
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	next = func() {
+		op, ok := s.Next()
+		if !ok {
+			return
+		}
+		at := op.At
+		if now := eng.Now(); at < now {
+			at = now
+		}
+		eng.At(at, func() {
+			if outstanding >= maxPending {
+				held, heldOp = true, op
+				return
+			}
+			submit(op)
 			next()
 		})
 	}
@@ -175,6 +260,7 @@ func closedLoop(d Device, depth int, gen func(i int) (trace.Op, bool)) error {
 // internal API reachable via Raw.
 type SSD struct {
 	Raw *ssd.Device
+	driveConfig
 }
 
 // NewSSD builds a flash device on a fresh engine. Prefer Open or Build;
@@ -200,10 +286,10 @@ func (s *SSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 func (s *SSD) Free(off, size int64) error { return s.Raw.Submit(freeOp(off, size), nil) }
 
 // Drive implements Device.
-func (s *SSD) Drive(st trace.Stream) error { return drive(s, st) }
+func (s *SSD) Drive(st trace.Stream) error { return drive(s, st, s.MaxPending) }
 
 // Play implements Device.
-func (s *SSD) Play(ops []trace.Op) error { return drive(s, trace.FromSlice(ops)) }
+func (s *SSD) Play(ops []trace.Op) error { return drive(s, trace.FromSlice(ops), s.MaxPending) }
 
 // ClosedLoop implements Device.
 func (s *SSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -215,6 +301,9 @@ func (s *SSD) Engine() *sim.Engine { return s.Raw.Engine() }
 
 // LogicalBytes implements Device.
 func (s *SSD) LogicalBytes() int64 { return s.Raw.LogicalBytes() }
+
+// QueueDepth implements Device.
+func (s *SSD) QueueDepth() int { return s.Raw.QueueDepth() }
 
 // ssdSnapshot converts the flash device's metrics; shared by the SSD
 // and OSD wrappers, which front the same model.
@@ -236,6 +325,7 @@ func (s *SSD) Metrics() Snapshot { return ssdSnapshot(s.Raw.Metrics()) }
 // HDD wraps the disk model as a core.Device.
 type HDD struct {
 	Raw *hdd.Disk
+	driveConfig
 	// frees counts completed free notifications; the disk model itself
 	// has no TRIM, so the wrapper keeps the Snapshot field uniform.
 	frees int64
@@ -272,10 +362,10 @@ func (h *HDD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 func (h *HDD) Free(off, size int64) error { return h.Submit(freeOp(off, size), nil) }
 
 // Drive implements Device.
-func (h *HDD) Drive(st trace.Stream) error { return drive(h, st) }
+func (h *HDD) Drive(st trace.Stream) error { return drive(h, st, h.MaxPending) }
 
 // Play implements Device.
-func (h *HDD) Play(ops []trace.Op) error { return drive(h, trace.FromSlice(ops)) }
+func (h *HDD) Play(ops []trace.Op) error { return drive(h, trace.FromSlice(ops), h.MaxPending) }
 
 // ClosedLoop implements Device.
 func (h *HDD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -287,6 +377,9 @@ func (h *HDD) Engine() *sim.Engine { return h.Raw.Engine() }
 
 // LogicalBytes implements Device.
 func (h *HDD) LogicalBytes() int64 { return h.Raw.LogicalBytes() }
+
+// QueueDepth implements Device.
+func (h *HDD) QueueDepth() int { return h.Raw.QueueDepth() }
 
 // Metrics implements Device.
 func (h *HDD) Metrics() Snapshot {

@@ -12,6 +12,7 @@ import (
 // column).
 type RAID struct {
 	Raw *raid.Array
+	driveConfig
 	// frees counts completed free notifications (the array has no TRIM;
 	// the wrapper keeps the Snapshot field uniform).
 	frees int64
@@ -48,10 +49,10 @@ func (r *RAID) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 func (r *RAID) Free(off, size int64) error { return r.Submit(freeOp(off, size), nil) }
 
 // Drive implements Device.
-func (r *RAID) Drive(st trace.Stream) error { return drive(r, st) }
+func (r *RAID) Drive(st trace.Stream) error { return drive(r, st, r.MaxPending) }
 
 // Play implements Device.
-func (r *RAID) Play(ops []trace.Op) error { return drive(r, trace.FromSlice(ops)) }
+func (r *RAID) Play(ops []trace.Op) error { return drive(r, trace.FromSlice(ops), r.MaxPending) }
 
 // ClosedLoop implements Device.
 func (r *RAID) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -63,6 +64,9 @@ func (r *RAID) Engine() *sim.Engine { return r.Raw.Engine() }
 
 // LogicalBytes implements Device.
 func (r *RAID) LogicalBytes() int64 { return r.Raw.LogicalBytes() }
+
+// QueueDepth implements Device.
+func (r *RAID) QueueDepth() int { return r.Raw.QueueDepth() }
 
 // Metrics implements Device.
 func (r *RAID) Metrics() Snapshot {
@@ -81,6 +85,7 @@ func (r *RAID) Metrics() Snapshot {
 // column).
 type MEMS struct {
 	Raw *mems.Device
+	driveConfig
 	// frees counts completed free notifications (MEMS media writes in
 	// place; the wrapper keeps the Snapshot field uniform).
 	frees int64
@@ -117,10 +122,10 @@ func (m *MEMS) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 func (m *MEMS) Free(off, size int64) error { return m.Submit(freeOp(off, size), nil) }
 
 // Drive implements Device.
-func (m *MEMS) Drive(st trace.Stream) error { return drive(m, st) }
+func (m *MEMS) Drive(st trace.Stream) error { return drive(m, st, m.MaxPending) }
 
 // Play implements Device.
-func (m *MEMS) Play(ops []trace.Op) error { return drive(m, trace.FromSlice(ops)) }
+func (m *MEMS) Play(ops []trace.Op) error { return drive(m, trace.FromSlice(ops), m.MaxPending) }
 
 // ClosedLoop implements Device.
 func (m *MEMS) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -132,6 +137,9 @@ func (m *MEMS) Engine() *sim.Engine { return m.Raw.Engine() }
 
 // LogicalBytes implements Device.
 func (m *MEMS) LogicalBytes() int64 { return m.Raw.LogicalBytes() }
+
+// QueueDepth implements Device.
+func (m *MEMS) QueueDepth() int { return m.Raw.QueueDepth() }
 
 // Metrics implements Device.
 func (m *MEMS) Metrics() Snapshot {

@@ -19,6 +19,7 @@ import (
 type OSD struct {
 	Raw   *ssd.Device
 	Store *osd.Store
+	driveConfig
 	vol   osd.ObjectID
 	bytes int64
 }
@@ -86,10 +87,10 @@ func (o *OSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 func (o *OSD) Free(off, size int64) error { return o.Store.FreeRange(o.vol, off, size, nil) }
 
 // Drive implements Device.
-func (o *OSD) Drive(st trace.Stream) error { return drive(o, st) }
+func (o *OSD) Drive(st trace.Stream) error { return drive(o, st, o.MaxPending) }
 
 // Play implements Device.
-func (o *OSD) Play(ops []trace.Op) error { return drive(o, trace.FromSlice(ops)) }
+func (o *OSD) Play(ops []trace.Op) error { return drive(o, trace.FromSlice(ops), o.MaxPending) }
 
 // ClosedLoop implements Device.
 func (o *OSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -102,6 +103,9 @@ func (o *OSD) Engine() *sim.Engine { return o.Raw.Engine() }
 // LogicalBytes implements Device: the volume's span, not the raw
 // device's (they differ on heterogeneous media).
 func (o *OSD) LogicalBytes() int64 { return o.bytes }
+
+// QueueDepth implements Device.
+func (o *OSD) QueueDepth() int { return o.Raw.QueueDepth() }
 
 // Metrics implements Device.
 func (o *OSD) Metrics() Snapshot { return ssdSnapshot(o.Raw.Metrics()) }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"ossd/internal/flash"
 	"ossd/internal/hdd"
 	"ossd/internal/mems"
@@ -72,22 +74,44 @@ type Profile struct {
 	// callers that look it up via ProfileByName (zero means unset; no
 	// built-in profile sets one).
 	Seed int64
+	// MaxPending bounds the requests outstanding while the device is
+	// driven open loop (Drive/Play): admission control against arrival
+	// storms. 0 means unbounded (see WithMaxPending).
+	MaxPending int
 }
 
 // NewDevice instantiates the profile's device on a fresh engine.
 func (p *Profile) NewDevice() (Device, error) {
+	var (
+		d   Device
+		err error
+	)
 	switch p.Kind {
 	case KindHDD:
-		return NewHDD(p.HDD)
+		d, err = NewHDD(p.HDD)
 	case KindMEMS:
-		return NewMEMS(p.MEMS)
+		d, err = NewMEMS(p.MEMS)
 	case KindRAID:
-		return NewRAID(p.RAID)
+		d, err = NewRAID(p.RAID)
 	case KindOSD:
-		return NewOSD(p.SSD)
+		d, err = NewOSD(p.SSD)
 	default:
-		return NewSSD(p.SSD)
+		d, err = NewSSD(p.SSD)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if p.MaxPending > 0 {
+		mp, ok := d.(interface{ setMaxPending(int) })
+		if !ok {
+			// Fail loudly (like every other inapplicable option) instead
+			// of silently dropping the bound on a wrapper that does not
+			// embed driveConfig.
+			return nil, fmt.Errorf("core: %s device does not support MaxPending", p.Kind)
+		}
+		mp.setMaxPending(p.MaxPending)
+	}
+	return d, nil
 }
 
 // geometry helper: pageSize 4 KB, 64 pages/block.

@@ -167,6 +167,22 @@ func WithQueueDepth(depth int) Option {
 	}
 }
 
+// WithMaxPending bounds the number of requests outstanding while the
+// device is driven open loop (Drive/Play): once n requests are in
+// flight, further arrivals are paced to completions instead of piling
+// unbounded queue state — backpressure for arrival storms the device
+// cannot absorb. It applies to every media kind; 0 restores the
+// unbounded default.
+func WithMaxPending(n int) Option {
+	return func(p *Profile) error {
+		if n < 0 {
+			return fmt.Errorf("core: max pending %d must be non-negative", n)
+		}
+		p.MaxPending = n
+		return nil
+	}
+}
+
 // WithSeed sets the profile's default measurement seed. The seed is
 // metadata carried on the Profile for callers that read it back via
 // ProfileByName (no built-in profile sets one; the devices themselves

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
@@ -90,10 +91,13 @@ type Disk struct {
 	zoneStart   []int64 // starting byte of each zone
 	zoneCyls    int
 
-	headCyl   int
-	busy      bool
-	lastEnd   int64 // end offset of the previous media access (for sequential detection)
-	reads     []*Request
+	headCyl int
+	lastEnd int64 // end offset of the previous media access (for sequential detection)
+	// q holds media accesses awaiting the (single) actuator in FCFS
+	// order; drv is the shared dispatch loop, with the write-cache drain
+	// as its post hook.
+	q         *sched.Queue
+	drv       *sched.Driver
 	cache     []cacheEntry // sorted by offset
 	cacheUsed int64
 	waitWr    []*Request // writes blocked on cache space
@@ -117,6 +121,11 @@ func New(eng *sim.Engine, cfg Config) (*Disk, error) {
 		return nil, err
 	}
 	d := &Disk{cfg: cfg, eng: eng}
+	// One parallel element — the actuator — dispatched FCFS through the
+	// same indexed queue the SSD gang uses.
+	d.q = sched.NewQueue(sched.FCFS, 1)
+	d.drv = sched.NewDriver(eng, d.q, d.serve)
+	d.drv.SetHooks(nil, d.drain)
 	d.revTime = sim.Time(60e9 / float64(cfg.RPM))
 	d.zoneCyls = cfg.Cylinders / cfg.Zones
 	// Zone media rates fall linearly from max (outer) to 55% (inner).
@@ -154,6 +163,10 @@ func (d *Disk) LogicalBytes() int64 { return d.cfg.CapacityBytes }
 
 // Metrics returns a snapshot.
 func (d *Disk) Metrics() Metrics { return d.met }
+
+// QueueDepth reports host requests waiting for the actuator: queued
+// media accesses plus writes blocked on cache space.
+func (d *Disk) QueueDepth() int { return d.q.Len() + len(d.waitWr) }
 
 // zoneOf maps a byte offset to its zone.
 func (d *Disk) zoneOf(off int64) int {
@@ -246,26 +259,29 @@ func (d *Disk) Submit(op trace.Op, onDone func(*Request)) error {
 			d.eng.After(d.cfg.CacheLatency, func() { d.finish(req) })
 			break
 		}
-		d.reads = append(d.reads, req)
-		d.pump()
+		d.q.Push(actuator, req)
+		d.drv.Pump()
 	case trace.Write:
 		if d.cfg.CacheBytes == 0 {
 			// Write-through: treat like a read-path media access.
-			d.reads = append(d.reads, req)
-			d.pump()
+			d.q.Push(actuator, req)
+			d.drv.Pump()
 			break
 		}
 		if d.cacheUsed+op.Size <= d.cfg.CacheBytes {
 			d.cacheInsert(op.Offset, op.Size)
 			d.eng.After(d.cfg.CacheLatency, func() { d.finish(req) })
-			d.pump()
+			d.drv.Pump()
 		} else {
 			d.waitWr = append(d.waitWr, req)
-			d.pump()
+			d.drv.Pump()
 		}
 	}
 	return nil
 }
+
+// actuator is the element set of every disk access: the one arm.
+var actuator = []int{0}
 
 // Play replays a timestamped trace to completion.
 func (d *Disk) Play(ops []trace.Op) error {
@@ -324,34 +340,34 @@ func (d *Disk) finish(req *Request) {
 	}
 }
 
-// pump serves the next piece of work: reads first, then cache drain.
-func (d *Disk) pump() {
-	if d.busy {
-		return
+// serve starts one queued media access (the driver dispatches reads and
+// write-through writes ahead of the drain hook, preserving read
+// priority over background cache flushes).
+func (d *Disk) serve(data any, now sim.Time) {
+	req := data.(*Request)
+	req.Start = now
+	dur := d.serviceTime(req.Op.Offset, req.Op.Size)
+	d.q.SetBusy(0, now+dur)
+	d.eng.After(dur, func() {
+		d.finish(req)
+		d.drv.Pump()
+	})
+}
+
+// drain is the driver's post-dispatch hook: when the actuator is idle
+// and dirty cache entries exist, flush the CLOOK victim.
+func (d *Disk) drain(now sim.Time) bool {
+	if !d.q.Idle(0, now) || len(d.cache) == 0 {
+		return false
 	}
-	if len(d.reads) > 0 {
-		req := d.reads[0]
-		d.reads = d.reads[1:]
-		req.Start = d.eng.Now()
-		dur := d.serviceTime(req.Op.Offset, req.Op.Size)
-		d.busy = true
-		d.eng.After(dur, func() {
-			d.busy = false
-			d.finish(req)
-			d.pump()
-		})
-		return
-	}
-	if len(d.cache) > 0 {
-		e := d.nextDrain()
-		dur := d.serviceTime(e.off, e.size)
-		d.busy = true
-		d.eng.After(dur, func() {
-			d.busy = false
-			d.drained(e)
-			d.pump()
-		})
-	}
+	e := d.nextDrain()
+	dur := d.serviceTime(e.off, e.size)
+	d.q.SetBusy(0, now+dur)
+	d.eng.After(dur, func() {
+		d.drained(e)
+		d.drv.Pump()
+	})
+	return true
 }
 
 // cacheCovers reports whether a read range is entirely dirty in cache.
@@ -394,6 +410,9 @@ func (d *Disk) drained(e cacheEntry) {
 		if d.cacheUsed+req.Op.Size > d.cfg.CacheBytes {
 			break
 		}
+		// Nil the vacated slot so the advancing slice window does not pin
+		// the admitted request for the collector.
+		d.waitWr[0] = nil
 		d.waitWr = d.waitWr[1:]
 		d.cacheInsert(req.Op.Offset, req.Op.Size)
 		d.finish(req)

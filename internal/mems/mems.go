@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"ossd/internal/sched"
 	"ossd/internal/sim"
 	"ossd/internal/stats"
 	"ossd/internal/trace"
@@ -70,24 +71,31 @@ type Request struct {
 // Response returns completion minus arrival.
 func (r *Request) Response() sim.Time { return r.Done - r.Arrive }
 
-// Device is the MEMS store. Single actuator: one request at a time.
+// Device is the MEMS store. Single actuator: one request at a time,
+// FCFS, dispatched through the shared indexed queue.
 type Device struct {
 	cfg Config
 	eng *sim.Engine
 
 	track   int   // sled X position
 	lastEnd int64 // for sequential detection
-	busy    bool
-	queue   []*Request
+	q       *sched.Queue
+	drv     *sched.Driver
 	met     Metrics
 }
+
+// sled is the element set of every access: the one media sled.
+var sled = []int{0}
 
 // New builds a device.
 func New(eng *sim.Engine, cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Device{cfg: cfg, eng: eng}, nil
+	d := &Device{cfg: cfg, eng: eng}
+	d.q = sched.NewQueue(sched.FCFS, 1)
+	d.drv = sched.NewDriver(eng, d.q, d.serve)
+	return d, nil
 }
 
 // Engine returns the driving engine.
@@ -143,24 +151,23 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 		d.finish(req)
 		return nil
 	}
-	d.queue = append(d.queue, req)
-	d.pump()
+	d.q.Push(sled, req)
+	d.drv.Pump()
 	return nil
 }
 
-func (d *Device) pump() {
-	if d.busy || len(d.queue) == 0 {
-		return
-	}
-	req := d.queue[0]
-	d.queue = d.queue[1:]
-	req.Start = d.eng.Now()
+// QueueDepth reports requests waiting for the sled.
+func (d *Device) QueueDepth() int { return d.q.Len() }
+
+// serve starts one access on the sled.
+func (d *Device) serve(data any, now sim.Time) {
+	req := data.(*Request)
+	req.Start = now
 	dur := d.serviceTime(req.Op)
-	d.busy = true
+	d.q.SetBusy(0, now+dur)
 	d.eng.After(dur, func() {
-		d.busy = false
 		d.finish(req)
-		d.pump()
+		d.drv.Pump()
 	})
 }
 

@@ -97,6 +97,17 @@ func (a *Array) LogicalBytes() int64 {
 // Metrics returns a snapshot.
 func (a *Array) Metrics() Metrics { return a.met }
 
+// QueueDepth reports spindle-level operations waiting for dispatch,
+// summed over the array (the array itself holds no queue: decomposed
+// sub-operations queue on their disks).
+func (a *Array) QueueDepth() int {
+	depth := 0
+	for _, d := range a.disks {
+		depth += d.QueueDepth()
+	}
+	return depth
+}
+
 // locate maps a logical stripe unit to (disk, per-disk offset) with
 // left-symmetric rotating parity.
 func (a *Array) locate(unit int64) (disk int, diskOff int64, parityDisk int) {

@@ -1,0 +1,62 @@
+package sched
+
+import "ossd/internal/sim"
+
+// Driver is the dispatch engine shared by the media models: one pump loop
+// over an indexed Queue, with hooks for the work a substrate does around
+// dispatch. The SSD hangs garbage collection on the hooks (mandatory
+// cleaning before dispatch, opportunistic cleaning after), the disk hangs
+// its write-cache drain on the post hook, and MEMS uses the bare loop —
+// so all substrates queue and dispatch through this one code path.
+//
+// Serve is called once per dispatched request with its payload and the
+// current simulated time; it must start service (marking elements busy
+// via Queue.SetBusy) and arrange for Pump to run again on completion.
+// Pre and Post run before and after the dispatch pass of each round and
+// report whether they made progress; the loop repeats until a full round
+// makes none.
+type Driver struct {
+	eng   *sim.Engine
+	q     *Queue
+	serve func(data any, now sim.Time)
+	pre   func(now sim.Time) bool
+	post  func(now sim.Time) bool
+}
+
+// NewDriver builds a driver pumping q on eng, dispatching through serve.
+func NewDriver(eng *sim.Engine, q *Queue, serve func(data any, now sim.Time)) *Driver {
+	return &Driver{eng: eng, q: q, serve: serve}
+}
+
+// SetHooks installs the pre- and post-dispatch hooks (either may be nil).
+func (d *Driver) SetHooks(pre, post func(now sim.Time) bool) {
+	d.pre, d.post = pre, post
+}
+
+// Pump advances the device state machine: pre-dispatch work, then as many
+// dispatches as the queue allows, then post-dispatch work, repeating
+// until a whole round makes no progress. Call it on every arrival and on
+// every completion.
+func (d *Driver) Pump() {
+	now := d.eng.Now()
+	for {
+		progress := false
+		if d.pre != nil && d.pre(now) {
+			progress = true
+		}
+		for {
+			data, ok := d.q.Pop(now)
+			if !ok {
+				break
+			}
+			d.serve(data, now)
+			progress = true
+		}
+		if d.post != nil && d.post(now) {
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}

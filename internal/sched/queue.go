@@ -1,0 +1,344 @@
+package sched
+
+import "ossd/internal/sim"
+
+// Queue is the stateful, indexed successor of the stateless Pick scan: a
+// dispatch queue that knows each parallel element's busy horizon and
+// answers "what dispatches now?" in O(log n) instead of rescanning (and
+// reallocating) the whole pending set on every decision.
+//
+// The legacy Pick contract is preserved exactly — the equivalence test in
+// queue_test.go pins the dispatch sequence op-for-op against Pick on
+// randomized workloads:
+//
+//   - FCFS dispatches strictly in arrival order; if the head's elements
+//     are busy nothing dispatches (head-of-line blocking). The index is an
+//     intrusive FIFO: Pop inspects only the head.
+//   - SWTF dispatches the request with the shortest wait, tie-broken by
+//     arrival Seq, and only when that wait is zero. Since ties break by
+//     Seq and dispatch happens only at wait zero, the winner is always
+//     the lowest-Seq request whose elements are all idle; the index is a
+//     Seq-keyed min-heap of dispatch candidates plus, per element, a list
+//     of requests parked until that element's busy horizon passes. Pop
+//     lazily re-parks stale candidates, so each request moves between
+//     index structures O(1) times per element-release that concerns it.
+//
+// A Queue owns the busy horizons of its elements (the busyUntil vector
+// the scan-era device kept by hand): media models mark elements busy with
+// SetBusy and the queue wakes parked requests as the clock passes their
+// horizons. Items are pooled and their payload slots cleared on Pop, so
+// the queue neither allocates on the dispatch path nor pins completed
+// requests for the garbage collector.
+//
+// Queues are not safe for concurrent use; like the sim.Engine that drives
+// them, a queue belongs to a single simulation.
+type Queue struct {
+	policy    Policy
+	busyUntil []sim.Time
+	seq       uint64
+	length    int
+
+	// FCFS: intrusive doubly-linked arrival-order list.
+	head, tail *item
+
+	// SWTF: Seq-keyed min-heap of dispatch candidates, per-element parked
+	// lists, and a min-heap of (horizon, element) wake records.
+	ready   []*item
+	blocked []*item // head of each element's parked list
+	wakes   []wake
+
+	// free is the item pool (singly linked through next).
+	free *item
+}
+
+// item is one queued request: its element set, arrival sequence number,
+// and the caller's payload, plus the intrusive index links.
+type item struct {
+	elems []int
+	seq   uint64
+	data  any
+
+	prev, next *item // FIFO list (FCFS) or parked list (SWTF)
+	heapIdx    int   // position in the ready heap; -1 when not in it
+	parkedOn   int   // element this item waits on; -1 when a candidate
+}
+
+// wake records that an element's busy horizon ends at `at`; processing it
+// then releases the element's parked requests. Horizons only move while
+// an element is idle, so the record matching the current horizon is
+// always present (stale records are skipped, never trusted).
+type wake struct {
+	at   sim.Time
+	elem int
+}
+
+// NewQueue returns an empty queue dispatching under policy over the given
+// number of parallel elements, all idle.
+func NewQueue(policy Policy, elements int) *Queue {
+	return &Queue{
+		policy:    policy,
+		busyUntil: make([]sim.Time, elements),
+		blocked:   make([]*item, elements),
+	}
+}
+
+// Policy reports the dispatch discipline.
+func (q *Queue) Policy() Policy { return q.policy }
+
+// Len reports the number of queued (not yet dispatched) requests.
+func (q *Queue) Len() int { return q.length }
+
+// Busy reports element e's busy horizon: the time at which it becomes
+// available again (in the past or present when idle).
+func (q *Queue) Busy(e int) sim.Time { return q.busyUntil[e] }
+
+// Idle reports whether element e is available at now.
+func (q *Queue) Idle(e int, now sim.Time) bool { return q.busyUntil[e] <= now }
+
+// SetBusy marks element e busy until the given horizon. Horizons only
+// grow: marking an element busy until a time before its current horizon
+// is a no-op.
+func (q *Queue) SetBusy(e int, until sim.Time) {
+	if until <= q.busyUntil[e] {
+		return
+	}
+	q.busyUntil[e] = until
+	if q.policy == SWTF {
+		q.pushWake(wake{at: until, elem: e})
+	}
+}
+
+// Push enqueues a request occupying the given elements and returns its
+// arrival sequence number. The element slice is copied into a pooled
+// item; the caller may reuse it.
+func (q *Queue) Push(elems []int, data any) uint64 {
+	it := q.take()
+	it.elems = append(it.elems[:0], elems...)
+	q.seq++
+	it.seq = q.seq
+	it.data = data
+	q.length++
+	switch q.policy {
+	case SWTF:
+		// New arrivals enter as candidates; Pop demotes them lazily if
+		// their elements turn out busy.
+		q.heapPush(it)
+	default: // FCFS: append to the arrival-order list.
+		it.prev = q.tail
+		if q.tail != nil {
+			q.tail.next = it
+		} else {
+			q.head = it
+		}
+		q.tail = it
+	}
+	return it.seq
+}
+
+// wait is the legacy Entry.Wait over the queue's own busy horizons.
+func (q *Queue) wait(it *item, now sim.Time) sim.Time {
+	var w sim.Time
+	for _, e := range it.elems {
+		if b := q.busyUntil[e] - now; b > w {
+			w = b
+		}
+	}
+	return w
+}
+
+// Pop removes and returns the payload of the next dispatchable request,
+// or (nil, false) if nothing may dispatch at now. It never allocates.
+func (q *Queue) Pop(now sim.Time) (any, bool) {
+	if q.policy == SWTF {
+		return q.popSWTF(now)
+	}
+	it := q.head
+	if it == nil || q.wait(it, now) != 0 {
+		return nil, false
+	}
+	q.head = it.next
+	if q.head != nil {
+		q.head.prev = nil
+	} else {
+		q.tail = nil
+	}
+	return q.finishPop(it)
+}
+
+func (q *Queue) popSWTF(now sim.Time) (any, bool) {
+	q.release(now)
+	for len(q.ready) > 0 {
+		it := q.ready[0]
+		w := q.wait(it, now)
+		if w == 0 {
+			q.heapRemove(it)
+			return q.finishPop(it)
+		}
+		// Stale candidate: park it on its latest-busy element; the wake
+		// record for that element's horizon brings it back.
+		q.heapRemove(it)
+		q.park(it, now)
+	}
+	return nil, false
+}
+
+// finishPop detaches the payload and recycles the item.
+func (q *Queue) finishPop(it *item) (any, bool) {
+	data := it.data
+	q.length--
+	q.put(it)
+	return data, true
+}
+
+// park attaches a non-dispatchable item to the busy element it must wait
+// longest for.
+func (q *Queue) park(it *item, now sim.Time) {
+	worst, horizon := -1, sim.Time(0)
+	for _, e := range it.elems {
+		if b := q.busyUntil[e]; b > now && b > horizon {
+			worst, horizon = e, b
+		}
+	}
+	// wait > 0 guaranteed a busy element exists.
+	it.parkedOn = worst
+	it.prev = nil
+	it.next = q.blocked[worst]
+	if it.next != nil {
+		it.next.prev = it
+	}
+	q.blocked[worst] = it
+}
+
+// release processes due wake records: every element whose horizon has
+// passed gets its parked requests promoted back to candidates.
+func (q *Queue) release(now sim.Time) {
+	for len(q.wakes) > 0 && q.wakes[0].at <= now {
+		w := q.popWake()
+		if q.busyUntil[w.elem] > now {
+			// Stale record: the element was re-marked busy; the newer
+			// record carries its current horizon.
+			continue
+		}
+		for it := q.blocked[w.elem]; it != nil; {
+			next := it.next
+			it.prev, it.next = nil, nil
+			it.parkedOn = -1
+			q.heapPush(it)
+			it = next
+		}
+		q.blocked[w.elem] = nil
+	}
+}
+
+// ---- item pool ----
+
+func (q *Queue) take() *item {
+	if it := q.free; it != nil {
+		q.free = it.next
+		it.next = nil
+		return it
+	}
+	return &item{heapIdx: -1, parkedOn: -1}
+}
+
+func (q *Queue) put(it *item) {
+	it.data = nil // release the payload to the collector
+	it.prev = nil
+	it.heapIdx = -1
+	it.parkedOn = -1
+	it.next = q.free
+	q.free = it
+}
+
+// ---- Seq-keyed candidate heap ----
+
+func (q *Queue) heapPush(it *item) {
+	it.heapIdx = len(q.ready)
+	q.ready = append(q.ready, it)
+	q.siftUp(it.heapIdx)
+}
+
+func (q *Queue) heapRemove(it *item) {
+	i := it.heapIdx
+	last := len(q.ready) - 1
+	q.ready[i] = q.ready[last]
+	q.ready[i].heapIdx = i
+	q.ready[last] = nil
+	q.ready = q.ready[:last]
+	if i < last {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+	it.heapIdx = -1
+}
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.ready[p].seq <= q.ready[i].seq {
+			return
+		}
+		q.ready[p], q.ready[i] = q.ready[i], q.ready[p]
+		q.ready[p].heapIdx, q.ready[i].heapIdx = p, i
+		i = p
+	}
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.ready)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.ready[l].seq < q.ready[min].seq {
+			min = l
+		}
+		if r < n && q.ready[r].seq < q.ready[min].seq {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.ready[i], q.ready[min] = q.ready[min], q.ready[i]
+		q.ready[i].heapIdx, q.ready[min].heapIdx = i, min
+		i = min
+	}
+}
+
+// ---- (horizon, element) wake heap ----
+
+func (q *Queue) pushWake(w wake) {
+	q.wakes = append(q.wakes, w)
+	i := len(q.wakes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.wakes[p].at <= q.wakes[i].at {
+			break
+		}
+		q.wakes[p], q.wakes[i] = q.wakes[i], q.wakes[p]
+		i = p
+	}
+}
+
+func (q *Queue) popWake() wake {
+	w := q.wakes[0]
+	last := len(q.wakes) - 1
+	q.wakes[0] = q.wakes[last]
+	q.wakes = q.wakes[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.wakes[l].at < q.wakes[min].at {
+			min = l
+		}
+		if r < n && q.wakes[r].at < q.wakes[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.wakes[i], q.wakes[min] = q.wakes[min], q.wakes[i]
+		i = min
+	}
+	return w
+}

@@ -63,6 +63,11 @@ type ProfileOptions struct {
 	Informed bool `json:"informed,omitempty"`
 	// PriorityAware enables priority-aware cleaning (§3.6).
 	PriorityAware bool `json:"priority_aware,omitempty"`
+	// MaxPending bounds outstanding requests while the job's workload is
+	// driven (core.WithMaxPending): admission control so an open-loop
+	// arrival storm paces to the device instead of accumulating
+	// unbounded queue state on a worker.
+	MaxPending int `json:"max_pending,omitempty"`
 }
 
 // build translates the JSON options into registry options.
@@ -102,6 +107,12 @@ func (o ProfileOptions) build() ([]core.Option, error) {
 	}
 	if o.PriorityAware {
 		opts = append(opts, core.WithPriorityAware(true))
+	}
+	if o.MaxPending < 0 {
+		return nil, fmt.Errorf("simsvc: negative max pending %d", o.MaxPending)
+	}
+	if o.MaxPending > 0 {
+		opts = append(opts, core.WithMaxPending(o.MaxPending))
 	}
 	return opts, nil
 }

@@ -19,10 +19,8 @@ import (
 
 // smallSpec is a job small enough for unit tests but large enough to
 // cross several telemetry sample boundaries. Arrivals are paced at a
-// rate the base SSD sustains (50 µs mean): an open-loop storm the
-// device cannot absorb piles the whole workload into its pending
-// queue, which the SWTF scheduler scans per dispatch — correct but
-// quadratic, and not what these tests are about.
+// rate the base SSD sustains (50 µs mean); storms beyond that rate are
+// exercised separately via Options.MaxPending (see TestMaxPendingJob).
 func smallSpec(ops int, seed int64) JobSpec {
 	return JobSpec{
 		Profile:  "ssd",
@@ -331,6 +329,46 @@ func TestSubmitValidation(t *testing.T) {
 	spec.Options.Scheme = "quantum"
 	if _, err := m.Submit(spec); err == nil {
 		t.Fatal("unknown scheme accepted")
+	}
+	spec = smallSpec(10, 1)
+	spec.Options.MaxPending = -1
+	if _, err := m.Submit(spec); err == nil {
+		t.Fatal("negative max_pending accepted")
+	}
+}
+
+// TestMaxPendingJob runs an open-loop arrival storm — interarrival far
+// below what the device sustains — under the max_pending admission
+// bound: the job must complete every op (paced, not shed) and stay
+// deterministic, which is exactly the regime that used to be flagged as
+// a caveat ("pace arrivals in big jobs") before admission control.
+func TestMaxPendingJob(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 5000})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	const ops = 20_000
+	spec := smallSpec(ops, 3)
+	spec.Params.MeanInterarrivalUs = 1 // storm: ~50x the sustainable rate
+	spec.Options.MaxPending = 32
+
+	done := waitJob(t, srv, postJob(t, srv, spec).ID)
+	if done.Status != StatusDone {
+		t.Fatalf("status %s (error %q), want done", done.Status, done.Error)
+	}
+	var res Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Completed != ops {
+		t.Fatalf("completed %d of %d: the bound shed work", res.Snapshot.Completed, ops)
+	}
+	// The spec (including the bound) is the cache identity: the same
+	// storm resubmitted is served from cache byte-identically.
+	again := postJob(t, srv, spec)
+	if !again.Cached {
+		t.Fatal("identical bounded job missed the cache")
 	}
 }
 

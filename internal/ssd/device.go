@@ -63,12 +63,6 @@ type GCStats struct {
 	FreesSeen, FreesApplied       int64
 }
 
-// pendJob is one queued request plus its scheduler view.
-type pendJob struct {
-	req   *Request
-	entry *sched.Entry
-}
-
 // Device is the simulated SSD.
 type Device struct {
 	cfg   Config
@@ -80,10 +74,17 @@ type Device struct {
 	pagesPerChunk int
 	logicalBytes  int64
 
-	busyUntil []sim.Time
-	linkBusy  sim.Time // host-interface link occupancy (InterfaceMBps)
-	pending   []*pendJob
-	seq       uint64
+	// q indexes the pending requests and owns the per-element busy
+	// horizons; drv runs the shared dispatch loop with the cleaning
+	// passes as its pre/post hooks.
+	q        *sched.Queue
+	drv      *sched.Driver
+	linkBusy sim.Time // host-interface link occupancy (InterfaceMBps)
+	// touched/elemScratch are reused by elemsFor, and durScratch by
+	// exec, so neither enqueueing nor dispatching allocates per request.
+	touched     []bool
+	elemScratch []int
+	durScratch  []sim.Time
 	// outstandingPri counts priority requests queued or in service; the
 	// priority-aware cleaner consults it (§3.6).
 	outstandingPri int
@@ -99,10 +100,14 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		cfg:       cfg,
-		eng:       eng,
-		busyUntil: make([]sim.Time, cfg.Elements),
+		cfg:        cfg,
+		eng:        eng,
+		touched:    make([]bool, cfg.Elements),
+		durScratch: make([]sim.Time, cfg.Elements),
 	}
+	d.q = sched.NewQueue(cfg.Scheduler, cfg.Elements)
+	d.drv = sched.NewDriver(eng, d.q, d.serve)
+	d.drv.SetHooks(d.mandatoryClean, d.opportunisticClean)
 	for i := 0; i < cfg.Elements; i++ {
 		el, err := ftl.NewBackend(cfg.Scheme, cfg.ftlConfig(i))
 		if err != nil {
@@ -140,7 +145,7 @@ func (d *Device) Config() Config { return d.cfg }
 func (d *Device) Metrics() Metrics { return d.met }
 
 // QueueDepth reports the number of requests waiting for dispatch.
-func (d *Device) QueueDepth() int { return len(d.pending) }
+func (d *Device) QueueDepth() int { return d.q.Len() }
 
 // RegionBoundary reports the byte offset where the MLC region begins on
 // a heterogeneous device, or 0 when the media is homogeneous. Bytes in
@@ -220,13 +225,13 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 				req.Start = req.Arrive
 				d.complete(req)
 			})
-			d.pump()
+			d.drv.Pump()
 			return nil
 		}
 		d.met.BufferBypass++
 	}
 	d.enqueue(req)
-	d.pump()
+	d.drv.Pump()
 	return nil
 }
 
@@ -235,11 +240,7 @@ func (d *Device) enqueue(req *Request) {
 	if req.Op.Priority {
 		d.outstandingPri++
 	}
-	d.seq++
-	d.pending = append(d.pending, &pendJob{
-		req:   req,
-		entry: &sched.Entry{Elems: d.elemsFor(req.Op), Seq: d.seq},
-	})
+	d.q.Push(d.elemsFor(req.Op), req)
 }
 
 // Play schedules every operation at its trace timestamp and runs the
@@ -286,48 +287,42 @@ func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 }
 
 // ---- internal machinery ----
+//
+// The dispatch loop itself lives in sched.Driver (shared with the other
+// media models); the device contributes its cleaning passes as the
+// driver's hooks and its media execution as serve.
 
-// pump advances the device state machine: mandatory cleaning, dispatch,
-// opportunistic cleaning. It is called on every arrival and completion.
-func (d *Device) pump() {
-	now := d.eng.Now()
-	for {
-		progress := false
-		// Mandatory cleaning: below the critical watermark always; below
-		// the low watermark too when the device is priority-agnostic
-		// ("cleaning starts at the low threshold irrespective of the
-		// outstanding requests").
-		for e := range d.elems {
-			if d.busyUntil[e] > now {
-				continue
-			}
-			if d.mustClean(e) && d.startClean(e) {
-				progress = true
-			}
+// mandatoryClean is the driver's pre-dispatch hook: below the critical
+// watermark always; below the low watermark too when the device is
+// priority-agnostic ("cleaning starts at the low threshold irrespective
+// of the outstanding requests").
+func (d *Device) mandatoryClean(now sim.Time) bool {
+	progress := false
+	for e := range d.elems {
+		if d.q.Busy(e) > now {
+			continue
 		}
-		// Dispatch as many queued requests as have idle elements.
-		for {
-			idx := d.pick(now)
-			if idx < 0 {
-				break
-			}
-			d.dispatch(idx)
+		if d.mustClean(e) && d.startClean(e) {
 			progress = true
 		}
-		// Opportunistic cleaning (priority-aware only): clean at the low
-		// watermark when no priority request is outstanding.
-		for e := range d.elems {
-			if d.busyUntil[e] > now {
-				continue
-			}
-			if d.wantClean(e) && d.startClean(e) {
-				progress = true
-			}
+	}
+	return progress
+}
+
+// opportunisticClean is the driver's post-dispatch hook (priority-aware
+// only): clean at the low watermark when no priority request is
+// outstanding.
+func (d *Device) opportunisticClean(now sim.Time) bool {
+	progress := false
+	for e := range d.elems {
+		if d.q.Busy(e) > now {
+			continue
 		}
-		if !progress {
-			return
+		if d.wantClean(e) && d.startClean(e) {
+			progress = true
 		}
 	}
+	return progress
 }
 
 func (d *Device) mustClean(e int) bool {
@@ -359,81 +354,60 @@ func (d *Device) startClean(e int) bool {
 		return false
 	}
 	d.met.BackgroundCleans++
-	d.busyUntil[e] = d.eng.Now() + dur
-	d.eng.After(dur, d.pump)
+	d.q.SetBusy(e, d.eng.Now()+dur)
+	d.eng.After(dur, d.drv.Pump)
 	return true
 }
 
-// pick returns the index of the next dispatchable pending job, or -1.
-// FCFS takes a fast path: pending is kept in arrival order, so only the
-// head can dispatch.
-func (d *Device) pick(now sim.Time) int {
-	if len(d.pending) == 0 {
-		return -1
-	}
-	if d.cfg.Scheduler == sched.FCFS {
-		if d.pending[0].entry.Wait(d.busyUntil, now) == 0 {
-			return 0
-		}
-		return -1
-	}
-	entries := make([]*sched.Entry, len(d.pending))
-	for i, j := range d.pending {
-		entries[i] = j.entry
-	}
-	return sched.Pick(d.cfg.Scheduler, entries, d.busyUntil, now)
-}
-
-func (d *Device) dispatch(idx int) {
-	j := d.pending[idx]
-	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
-	now := d.eng.Now()
-	j.req.Start = now
-	durs := d.exec(j.req)
+// serve starts media service for a dispatched request: it executes the
+// request against the FTLs, marks the touched elements busy, models the
+// host link, and schedules the completion events.
+func (d *Device) serve(data any, now sim.Time) {
+	req := data.(*Request)
+	req.Start = now
+	durs := d.exec(req)
 	remaining := 0
 	for e, dur := range durs {
 		if dur == 0 {
 			continue
 		}
 		remaining++
-		d.busyUntil[e] = now + dur + d.cfg.CtrlOverhead
+		d.q.SetBusy(e, now+dur+d.cfg.CtrlOverhead)
 	}
 	// The host link moves the request's data serially (but overlapped
 	// with flash work via DMA): it is one more completion constraint.
 	if d.cfg.InterfaceMBps > 0 {
-		linkTime := sim.Time(float64(j.req.Op.Size) / (d.cfg.InterfaceMBps * 1e6) * 1e9)
+		linkTime := sim.Time(float64(req.Op.Size) / (d.cfg.InterfaceMBps * 1e6) * 1e9)
 		start := now
 		if d.linkBusy > start {
 			start = d.linkBusy
 		}
 		d.linkBusy = start + linkTime
 		remaining++
-		req := j.req
 		left := &remaining
 		d.eng.After(d.linkBusy-now, func() {
 			*left--
 			if *left == 0 {
 				d.complete(req)
 			}
-			d.pump()
+			d.drv.Pump()
 		})
 	}
 	if remaining == 0 {
-		d.complete(j.req)
+		d.complete(req)
 		return
 	}
 	for _, dur := range durs {
 		if dur == 0 {
 			continue
 		}
-		req := j.req
 		left := &remaining
 		d.eng.After(dur+d.cfg.CtrlOverhead, func() {
 			*left--
 			if *left == 0 {
 				d.complete(req)
 			}
-			d.pump()
+			d.drv.Pump()
 		})
 	}
 }

@@ -14,9 +14,13 @@ import (
 // elemsFor computes the set of elements a queued operation will occupy,
 // used by the dispatch scheduler. It is conservative with respect to
 // mapping state (which may change while the request queues): it depends
-// only on the byte range.
+// only on the byte range. The returned slice is device-owned scratch,
+// valid until the next call — sched.Queue.Push copies it.
 func (d *Device) elemsFor(op trace.Op) []int {
-	touched := make([]bool, d.cfg.Elements)
+	touched := d.touched
+	for e := range touched {
+		touched[e] = false
+	}
 	switch d.cfg.Layout {
 	case FullStripe:
 		if op.Kind == trace.Write {
@@ -36,12 +40,13 @@ func (d *Device) elemsFor(op trace.Op) []int {
 			touched[e] = true
 		})
 	}
-	var out []int
+	out := d.elemScratch[:0]
 	for e, t := range touched {
 		if t {
 			out = append(out, e)
 		}
 	}
+	d.elemScratch = out
 	return out
 }
 
@@ -103,9 +108,14 @@ func (d *Device) forEachStripePage(off, size int64, fn func(e, elpn int, covered
 
 // exec executes a dispatched request against the FTLs, mutating mapping
 // state, and returns the per-element service durations. Elements with a
-// zero duration were not touched.
+// zero duration were not touched. The returned slice is device-owned
+// scratch, valid until the next dispatch — serve consumes it before any
+// reentrant dispatch can run.
 func (d *Device) exec(req *Request) []sim.Time {
-	durs := make([]sim.Time, d.cfg.Elements)
+	durs := d.durScratch
+	for e := range durs {
+		durs[e] = 0
+	}
 	op := req.Op
 	if op.Kind == trace.Free {
 		// Deallocation is a mapping-table update: zero medium time.
