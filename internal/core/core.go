@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"ossd/internal/hdd"
 	"ossd/internal/sim"
@@ -37,10 +38,13 @@ type Device interface {
 	// an op whose timestamp is in the past is submitted immediately, so
 	// out-of-order traces replay in stream order, not timestamp order.
 	// Operations are pulled one at a time, so memory stays constant in
-	// the stream's length. Devices built with WithMaxPending additionally
-	// apply admission control: once that many requests are outstanding,
-	// further arrivals are paced to completions instead of piling up
-	// unbounded queue state.
+	// the stream's length. A mid-stream Submit error stops the replay,
+	// but Drive still drains the device before returning it: every
+	// completion already in flight has fired by the time Drive returns.
+	// Devices built with WithMaxPending additionally apply admission
+	// control: once that many requests are outstanding, further arrivals
+	// are paced to completions instead of piling up unbounded queue
+	// state.
 	Drive(s trace.Stream) error
 	// Play replays a timestamped trace to completion. Equivalent to
 	// Drive(trace.FromSlice(ops)), including the nondecreasing-timestamp
@@ -95,15 +99,27 @@ type Snapshot struct {
 // fillLatency populates the mean and percentile response-time fields
 // from the two response histograms every substrate keeps in its submit
 // path — one implementation of the latency view for all five wrappers.
+// Every field passes through latencyMs: a device that saw no reads (or
+// no writes) reports 0 for that side, never NaN or ±Inf — encoding/json
+// rejects both, and one poisoned field fails an entire simsvc payload.
 func (s *Snapshot) fillLatency(read, write stats.Histogram) {
-	s.MeanReadMs = read.Mean()
-	s.MeanWriteMs = write.Mean()
-	s.P50ReadMs = read.Percentile(50)
-	s.P95ReadMs = read.Percentile(95)
-	s.P99ReadMs = read.Percentile(99)
-	s.P50WriteMs = write.Percentile(50)
-	s.P95WriteMs = write.Percentile(95)
-	s.P99WriteMs = write.Percentile(99)
+	s.MeanReadMs = latencyMs(read.Mean())
+	s.MeanWriteMs = latencyMs(write.Mean())
+	s.P50ReadMs = latencyMs(read.Percentile(50))
+	s.P95ReadMs = latencyMs(read.Percentile(95))
+	s.P99ReadMs = latencyMs(read.Percentile(99))
+	s.P50WriteMs = latencyMs(write.Percentile(50))
+	s.P95WriteMs = latencyMs(write.Percentile(95))
+	s.P99WriteMs = latencyMs(write.Percentile(99))
+}
+
+// latencyMs guards a serialized latency statistic against non-finite
+// values from empty or degenerate histograms.
+func latencyMs(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // freeOp builds the trace record for a Free notification.
@@ -128,11 +144,103 @@ func (c *driveConfig) setMaxPending(n int) { c.MaxPending = n }
 // functions below, in terms of nothing but Submit and the engine: one
 // replay implementation for all five substrates.
 
+// driveLoop is the arrival pump behind drive and driveBounded. One
+// driveLoop is allocated per Drive call and then pumps the whole stream
+// through the engine's pooled event path: the next arrival is always
+// scheduled as (arrive, loop) — a package-level function plus this
+// pointer — so replay costs zero allocations per operation. Only one
+// pending arrival (op) exists at any moment, which also keeps memory
+// constant in the stream's length.
+type driveLoop struct {
+	d      Device
+	eng    *sim.Engine
+	s      trace.Stream
+	arrive func(any) // arriveEvent or arriveBoundedEvent
+	op     trace.Op  // the scheduled (or held) arrival
+
+	// Admission-control state (driveBounded only).
+	maxPending  int
+	outstanding int
+	held        bool
+	onDone      func(sim.Time, error) // one shared completion callback
+
+	err error
+}
+
+// next pulls one operation and schedules its arrival at its trace
+// timestamp, clamped to now.
+func (dl *driveLoop) next() {
+	op, ok := dl.s.Next()
+	if !ok {
+		return
+	}
+	at := op.At
+	if now := dl.eng.Now(); at < now {
+		at = now
+	}
+	dl.op = op
+	dl.eng.CallAt(at, dl.arrive, dl)
+}
+
+// arriveEvent is the unbounded arrival: submit and pull the next op. On
+// a Submit error the loop stops pulling the stream; drive's engine run
+// then drains whatever is already in flight before returning.
+func arriveEvent(a any) {
+	dl := a.(*driveLoop)
+	if err := dl.d.Submit(dl.op, nil); err != nil {
+		dl.err = err
+		return
+	}
+	dl.next()
+}
+
+// arriveBoundedEvent is the admission-controlled arrival: a full window
+// parks the op (held) until a completion frees a slot.
+func arriveBoundedEvent(a any) {
+	dl := a.(*driveLoop)
+	if dl.outstanding >= dl.maxPending {
+		dl.held = true
+		return
+	}
+	if dl.submit() {
+		dl.next()
+	}
+}
+
+// submit issues the current op, maintaining the outstanding window. It
+// reports whether the pull loop should continue; a Submit error stops
+// the stream (the engine still drains in-flight completions).
+func (dl *driveLoop) submit() bool {
+	dl.outstanding++
+	if err := dl.d.Submit(dl.op, dl.onDone); err != nil {
+		dl.outstanding--
+		if dl.err == nil {
+			dl.err = err
+		}
+		return false
+	}
+	return true
+}
+
+// finish drains the engine and folds in the stream's own error. Running
+// the engine after the pull loop stops — on exhaustion or on a Submit
+// error — guarantees every in-flight completion callback has fired
+// before Drive returns, so callbacks never run against a caller that
+// has already moved on.
+func (dl *driveLoop) finish() error {
+	dl.eng.Run()
+	if dl.err == nil {
+		dl.err = trace.Err(dl.s)
+	}
+	return dl.err
+}
+
 // drive pulls operations from s one at a time, scheduling each arrival
 // at its trace timestamp (clamped to now — timestamps are treated as
-// nondecreasing), and runs the engine until the device drains. Only one
-// pending arrival exists at any moment, so driving a million-op stream
-// holds one Op in memory, not a million.
+// nondecreasing), and runs the engine until the device drains. A
+// mid-stream Submit error stops the pull loop, but the engine still
+// drains: Drive returns the first error only after every completion
+// already in flight has run.
 //
 // maxPending > 0 enables admission control: once that many requests are
 // outstanding (submitted, not yet completed), the next arrival is held
@@ -145,88 +253,35 @@ func drive(d Device, s trace.Stream, maxPending int) error {
 	if maxPending > 0 {
 		return driveBounded(d, s, maxPending)
 	}
-	eng := d.Engine()
-	var firstErr error
-	var next func()
-	next = func() {
-		op, ok := s.Next()
-		if !ok {
-			return
-		}
-		at := op.At
-		if now := eng.Now(); at < now {
-			at = now
-		}
-		eng.At(at, func() {
-			if err := d.Submit(op, nil); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			next()
-		})
-	}
-	next()
-	eng.Run()
-	if firstErr == nil {
-		firstErr = trace.Err(s)
-	}
-	return firstErr
+	dl := &driveLoop{d: d, eng: d.Engine(), s: s, arrive: arriveEvent}
+	dl.next()
+	return dl.finish()
 }
 
 // driveBounded is drive with admission control. Every op is submitted
-// with a completion callback that maintains the outstanding count; when
-// an arrival finds the window full, it parks (held/heldOp) until a
+// with one shared completion callback that maintains the outstanding
+// count; when an arrival finds the window full, it parks (held) until a
 // completion drains the window below the bound, then resumes the pull
 // loop. Determinism is preserved: completions are simulation events, so
 // the paced arrival times are a pure function of the workload.
 func driveBounded(d Device, s trace.Stream, maxPending int) error {
-	eng := d.Engine()
-	var firstErr error
-	outstanding := 0
-	held := false
-	var heldOp trace.Op
-	var next func()
-	var submit func(op trace.Op)
-	submit = func(op trace.Op) {
-		outstanding++
-		err := d.Submit(op, func(sim.Time, error) {
-			outstanding--
-			if held && outstanding < maxPending {
-				held = false
-				submit(heldOp)
-				next()
-			}
-		})
-		if err != nil {
-			outstanding--
-			if firstErr == nil {
-				firstErr = err
-			}
-		}
-	}
-	next = func() {
-		op, ok := s.Next()
-		if !ok {
+	dl := &driveLoop{d: d, eng: d.Engine(), s: s, arrive: arriveBoundedEvent, maxPending: maxPending}
+	dl.onDone = func(sim.Time, error) {
+		dl.outstanding--
+		if dl.err != nil {
+			// The stream already stopped on an error; keep draining
+			// completions without submitting more work.
 			return
 		}
-		at := op.At
-		if now := eng.Now(); at < now {
-			at = now
-		}
-		eng.At(at, func() {
-			if outstanding >= maxPending {
-				held, heldOp = true, op
-				return
+		if dl.held && dl.outstanding < dl.maxPending {
+			dl.held = false
+			if dl.submit() {
+				dl.next()
 			}
-			submit(op)
-			next()
-		})
+		}
 	}
-	next()
-	eng.Run()
-	if firstErr == nil {
-		firstErr = trace.Err(s)
-	}
-	return firstErr
+	dl.next()
+	return dl.finish()
 }
 
 // closedLoop keeps depth requests outstanding, drawing operations from
@@ -239,13 +294,15 @@ func closedLoop(d Device, depth int, gen func(i int) (trace.Op, bool)) error {
 	var firstErr error
 	i := 0
 	var issue func()
+	// One completion callback for the whole loop, not one per op.
+	onDone := func(sim.Time, error) { issue() }
 	issue = func() {
 		op, ok := gen(i)
 		if !ok {
 			return
 		}
 		i++
-		if err := d.Submit(op, func(sim.Time, error) { issue() }); err != nil && firstErr == nil {
+		if err := d.Submit(op, onDone); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

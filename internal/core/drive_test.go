@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"math"
 	"testing"
 
 	"ossd/internal/sim"
@@ -104,6 +106,164 @@ func TestDriveMaxPendingAllKinds(t *testing.T) {
 				t.Fatalf("queue depth peaked at %d, bound 4", maxDepth)
 			}
 		})
+	}
+}
+
+// TestDriveStopsOnSubmitErrorAndDrains pins the mid-stream error
+// contract: a failing Submit stops the replay (ops after the bad one
+// are never pulled), but Drive drains the device before returning, so
+// every completion callback for work already in flight has fired — a
+// callback must never run against a caller that has moved on.
+func TestDriveStopsOnSubmitErrorAndDrains(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"unbounded", nil},
+		{"bounded", []Option{WithMaxPending(2)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Open("ssd", tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			space := d.LogicalBytes()
+			// Three good writes, a doomed op beyond capacity, then a tail
+			// that a stopped replay must never reach.
+			ops := []trace.Op{
+				{Kind: trace.Write, Offset: 0, Size: 4096},
+				{Kind: trace.Write, Offset: 4096, Size: 4096},
+				{Kind: trace.Write, Offset: 8192, Size: 4096},
+				{Kind: trace.Write, Offset: space, Size: 4096}, // Submit fails
+				{Kind: trace.Write, Offset: 12288, Size: 4096},
+				{Kind: trace.Write, Offset: 16384, Size: 4096},
+			}
+			pulled := 0
+			inner := trace.FromSlice(ops)
+			probe := trace.Func(func() (trace.Op, bool) {
+				op, ok := inner.Next()
+				if ok {
+					pulled++
+				}
+				return op, ok
+			})
+			err = d.Drive(probe)
+			if err == nil {
+				t.Fatal("Drive swallowed the Submit error")
+			}
+			if pulled != 4 {
+				t.Fatalf("pulled %d ops, want 4: the stream must stop at the failing op", pulled)
+			}
+			if pending := d.Engine().Pending(); pending != 0 {
+				t.Fatalf("%d events still pending after Drive returned: not drained", pending)
+			}
+			if q := d.QueueDepth(); q != 0 {
+				t.Fatalf("%d requests still queued after Drive returned", q)
+			}
+			if got := d.Metrics().Completed; got != 3 {
+				t.Fatalf("completed %d, want the 3 in-flight ops drained", got)
+			}
+		})
+	}
+}
+
+// TestDriveErrorCompletionsFireBeforeReturn is the callback-lifetime
+// regression for the bounded loop, where every op carries a completion
+// callback: at the moment Drive returns with a mid-stream error, the
+// callbacks of all previously submitted ops have already run.
+func TestDriveErrorCompletionsFireBeforeReturn(t *testing.T) {
+	d, err := Open("ssd", WithMaxPending(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := d.LogicalBytes()
+	i := 0
+	stream := trace.Func(func() (trace.Op, bool) {
+		i++
+		switch {
+		case i <= 5: // a burst at t=0 so several ops are in flight at once
+			return trace.Op{Kind: trace.Write, Offset: int64(i-1) * 4096, Size: 4096}, true
+		case i == 6:
+			return trace.Op{Kind: trace.Write, Offset: space, Size: 4096}, true
+		default:
+			t.Fatal("stream pulled past the failing op")
+			return trace.Op{}, false
+		}
+	})
+	if err := d.Drive(stream); err == nil {
+		t.Fatal("Drive swallowed the Submit error")
+	}
+	// The snapshot is read the instant Drive returns: the bounded loop
+	// attaches a completion callback to every op, so Completed counts
+	// exactly the callbacks that have already fired.
+	if done := int(d.Metrics().Completed); done != 5 {
+		t.Fatalf("completed %d at return, want all 5 in-flight ops", done)
+	}
+	if pending := d.Engine().Pending(); pending != 0 {
+		t.Fatalf("%d events still pending at return", pending)
+	}
+}
+
+// TestSnapshotReadOnlyWorkloadJSON pins the empty-histogram guard: a
+// device that never saw a write must report 0 (not NaN or ±Inf) for the
+// write latency fields, and the snapshot must survive JSON marshaling —
+// one non-finite field fails an entire simsvc payload.
+func TestSnapshotReadOnlyWorkloadJSON(t *testing.T) {
+	for _, name := range []string{"ssd", "hdd", "mems", "raid", "osd"} {
+		t.Run(name, func(t *testing.T) {
+			d, err := Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ops []trace.Op
+			for i := 0; i < 32; i++ {
+				ops = append(ops, trace.Op{Kind: trace.Read, Offset: int64(i) * 4096, Size: 4096})
+			}
+			if err := d.Play(ops); err != nil {
+				t.Fatal(err)
+			}
+			snap := d.Metrics()
+			for field, v := range map[string]float64{
+				"mean_write_ms": snap.MeanWriteMs,
+				"p50_write_ms":  snap.P50WriteMs,
+				"p95_write_ms":  snap.P95WriteMs,
+				"p99_write_ms":  snap.P99WriteMs,
+			} {
+				if v != 0 {
+					t.Errorf("%s = %v on a read-only workload, want 0", field, v)
+				}
+			}
+			if snap.MeanReadMs <= 0 || snap.P50ReadMs <= 0 {
+				t.Fatalf("read latency missing: %+v", snap)
+			}
+			if _, err := json.Marshal(snap); err != nil {
+				t.Fatalf("snapshot does not marshal: %v", err)
+			}
+			// The zero-op snapshot must marshal too.
+			fresh, err := Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := json.Marshal(fresh.Metrics()); err != nil {
+				t.Fatalf("zero-op snapshot does not marshal: %v", err)
+			}
+		})
+	}
+}
+
+// TestLatencyMsGuards pins the sanitizer itself.
+func TestLatencyMsGuards(t *testing.T) {
+	if v := latencyMs(math.NaN()); v != 0 {
+		t.Fatalf("latencyMs(NaN) = %v, want 0", v)
+	}
+	if v := latencyMs(math.Inf(1)); v != 0 {
+		t.Fatalf("latencyMs(+Inf) = %v, want 0", v)
+	}
+	if v := latencyMs(math.Inf(-1)); v != 0 {
+		t.Fatalf("latencyMs(-Inf) = %v, want 0", v)
+	}
+	if v := latencyMs(1.5); v != 1.5 {
+		t.Fatalf("latencyMs(1.5) = %v, want 1.5", v)
 	}
 }
 

@@ -101,6 +101,13 @@ type Disk struct {
 	cache     []cacheEntry // sorted by offset
 	cacheUsed int64
 	waitWr    []*Request // writes blocked on cache space
+	// draining carries in-flight cache flushes to their pooled
+	// completion events, in start order. Drains are serialized by the
+	// busy actuator, but at the exact tick one ends an earlier-scheduled
+	// arrival can pump the driver and start the next flush before the
+	// first drainDoneEvent runs — so this is a (tiny) FIFO, not a single
+	// slot. Steady state reuses the slice's capacity.
+	draining []cacheEntry
 
 	met Metrics
 }
@@ -110,6 +117,9 @@ type Request struct {
 	Op                  trace.Op
 	Arrive, Start, Done sim.Time
 	onDone              func(*Request)
+	// disk lets the pooled engine callbacks reach the model without a
+	// closure per event.
+	disk *Disk
 }
 
 // Response returns completion minus arrival.
@@ -249,14 +259,14 @@ func (d *Disk) Submit(op trace.Op, onDone func(*Request)) error {
 	if op.End() > d.cfg.CapacityBytes {
 		return fmt.Errorf("hdd: request [%d, +%d) beyond capacity", op.Offset, op.Size)
 	}
-	req := &Request{Op: op, Arrive: d.eng.Now(), onDone: onDone}
+	req := &Request{Op: op, Arrive: d.eng.Now(), onDone: onDone, disk: d}
 	switch op.Kind {
 	case trace.Free:
 		d.finish(req)
 	case trace.Read:
 		if d.cacheCovers(op.Offset, op.Size) {
 			d.met.CacheHits++
-			d.eng.After(d.cfg.CacheLatency, func() { d.finish(req) })
+			d.eng.Call(d.cfg.CacheLatency, finishEvent, req)
 			break
 		}
 		d.q.Push(actuator, req)
@@ -270,7 +280,7 @@ func (d *Disk) Submit(op trace.Op, onDone func(*Request)) error {
 		}
 		if d.cacheUsed+op.Size <= d.cfg.CacheBytes {
 			d.cacheInsert(op.Offset, op.Size)
-			d.eng.After(d.cfg.CacheLatency, func() { d.finish(req) })
+			d.eng.Call(d.cfg.CacheLatency, finishEvent, req)
 			d.drv.Pump()
 		} else {
 			d.waitWr = append(d.waitWr, req)
@@ -306,13 +316,15 @@ func (d *Disk) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 	var firstErr error
 	i := 0
 	var issue func()
+	// One completion callback for the whole loop, not one per op.
+	reissue := func(*Request) { issue() }
 	issue = func() {
 		op, ok := gen(i)
 		if !ok {
 			return
 		}
 		i++
-		if err := d.Submit(op, func(*Request) { issue() }); err != nil && firstErr == nil {
+		if err := d.Submit(op, reissue); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -321,6 +333,33 @@ func (d *Disk) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 	}
 	d.eng.Run()
 	return firstErr
+}
+
+// finishEvent is the pooled engine callback completing a request with no
+// further media work (cache hits and cache-absorbed writes).
+func finishEvent(a any) {
+	req := a.(*Request)
+	req.disk.finish(req)
+}
+
+// servedEvent is the pooled engine callback for a finished media access:
+// complete the request and pump the dispatch loop.
+func servedEvent(a any) {
+	req := a.(*Request)
+	req.disk.finish(req)
+	req.disk.drv.Pump()
+}
+
+// drainDoneEvent is the pooled engine callback for a finished cache
+// flush; arg is the *Disk since drain victims are cache ranges, not
+// requests. Completion events fire in start order (flushes never
+// overlap), so the oldest in-flight entry is always the one finishing.
+func drainDoneEvent(a any) {
+	d := a.(*Disk)
+	e := d.draining[0]
+	d.draining = d.draining[:copy(d.draining, d.draining[1:])]
+	d.drained(e)
+	d.drv.Pump()
 }
 
 func (d *Disk) finish(req *Request) {
@@ -348,10 +387,7 @@ func (d *Disk) serve(data any, now sim.Time) {
 	req.Start = now
 	dur := d.serviceTime(req.Op.Offset, req.Op.Size)
 	d.q.SetBusy(0, now+dur)
-	d.eng.After(dur, func() {
-		d.finish(req)
-		d.drv.Pump()
-	})
+	d.eng.Call(dur, servedEvent, req)
 }
 
 // drain is the driver's post-dispatch hook: when the actuator is idle
@@ -363,10 +399,8 @@ func (d *Disk) drain(now sim.Time) bool {
 	e := d.nextDrain()
 	dur := d.serviceTime(e.off, e.size)
 	d.q.SetBusy(0, now+dur)
-	d.eng.After(dur, func() {
-		d.drained(e)
-		d.drv.Pump()
-	})
+	d.draining = append(d.draining, e)
+	d.eng.Call(dur, drainDoneEvent, d)
 	return true
 }
 

@@ -66,6 +66,9 @@ type Request struct {
 	Op                  trace.Op
 	Arrive, Start, Done sim.Time
 	onDone              func(*Request)
+	// dev lets the pooled engine callback reach the model without a
+	// closure per event.
+	dev *Device
 }
 
 // Response returns completion minus arrival.
@@ -146,7 +149,7 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 	if op.End() > d.cfg.CapacityBytes {
 		return fmt.Errorf("mems: request [%d, +%d) beyond capacity", op.Offset, op.Size)
 	}
-	req := &Request{Op: op, Arrive: d.eng.Now(), onDone: onDone}
+	req := &Request{Op: op, Arrive: d.eng.Now(), onDone: onDone, dev: d}
 	if op.Kind == trace.Free {
 		d.finish(req)
 		return nil
@@ -159,16 +162,21 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 // QueueDepth reports requests waiting for the sled.
 func (d *Device) QueueDepth() int { return d.q.Len() }
 
+// servedEvent is the pooled engine callback for a finished sled access:
+// complete the request and pump the dispatch loop.
+func servedEvent(a any) {
+	req := a.(*Request)
+	req.dev.finish(req)
+	req.dev.drv.Pump()
+}
+
 // serve starts one access on the sled.
 func (d *Device) serve(data any, now sim.Time) {
 	req := data.(*Request)
 	req.Start = now
 	dur := d.serviceTime(req.Op)
 	d.q.SetBusy(0, now+dur)
-	d.eng.After(dur, func() {
-		d.finish(req)
-		d.drv.Pump()
-	})
+	d.eng.Call(dur, servedEvent, req)
 }
 
 func (d *Device) finish(req *Request) {
@@ -211,13 +219,15 @@ func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 	var firstErr error
 	i := 0
 	var issue func()
+	// One completion callback for the whole loop, not one per op.
+	reissue := func(*Request) { issue() }
 	issue = func() {
 		op, ok := gen(i)
 		if !ok {
 			return
 		}
 		i++
-		if err := d.Submit(op, func(*Request) { issue() }); err != nil && firstErr == nil {
+		if err := d.Submit(op, reissue); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

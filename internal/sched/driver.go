@@ -33,6 +33,20 @@ func (d *Driver) SetHooks(pre, post func(now sim.Time) bool) {
 	d.pre, d.post = pre, post
 }
 
+// pumpEvent is the engine callback form of Pump: arg is the *Driver.
+// Keeping it a package-level function lets PumpAfter schedule through
+// the engine's pooled event path without allocating a closure (or a
+// method value) per completion.
+func pumpEvent(a any) { a.(*Driver).Pump() }
+
+// PumpAfter schedules a Pump d from now through the engine's pooled
+// event path. Media models use it wherever device-initiated work (a
+// cleaning pass, a cache drain) ends at a known future time; it is the
+// allocation-free replacement for eng.After(d, drv.Pump).
+func (d *Driver) PumpAfter(delay sim.Time) {
+	d.eng.Call(delay, pumpEvent, d)
+}
+
 // Pump advances the device state machine: pre-dispatch work, then as many
 // dispatches as the queue allows, then post-dispatch work, repeating
 // until a whole round makes no progress. Call it on every arrival and on

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -45,40 +44,40 @@ func (t Time) String() string {
 }
 
 // event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier run earlier, giving a stable, deterministic order.
+// earlier run earlier, giving a stable, deterministic order. An event
+// carries either a plain closure (fn) or a pooled (call, arg) pair; the
+// latter lets hot paths schedule package-level functions with a pointer
+// payload and pay zero allocations per event.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+// before is the heap order: earliest time first, scheduling order within
+// a timestamp.
+func (e event) before(o event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 // Engines are not safe for concurrent use; a simulation is a single
 // logical thread of control.
+//
+// The pending set is a four-ary min-heap laid flat in a slice of event
+// values keyed on (at, seq) — no heap.Interface, no per-event boxing.
+// Four-way fan-out halves the tree depth of a binary heap, and the
+// shallower sift-down touches cache lines that are adjacent anyway
+// because the children are contiguous. Popped slots are zeroed so the
+// heap never pins dead callbacks or payloads for the collector, and the
+// slice's capacity is reused across events: steady-state scheduling does
+// not allocate.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event
 	ran    uint64
 }
 
@@ -102,7 +101,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -113,16 +112,42 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// CallAt schedules fn(arg) at absolute time t. Unlike At, the callback
+// and its payload travel as plain values in the event node, so a caller
+// passing a package-level function and a pointer payload schedules with
+// zero allocations — the form every hot scheduler in this repository
+// uses. Scheduling in the past panics, as with At.
+func (e *Engine) CallAt(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, call: fn, arg: arg})
+}
+
+// Call schedules fn(arg) to run d after the current time. It is the
+// pooled, allocation-free analogue of After; see CallAt.
+func (e *Engine) Call(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.CallAt(e.now+d, fn, arg)
+}
+
 // Step runs the single next event, advancing the clock to its timestamp.
 // It reports whether an event was available.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.ran++
-	ev.fn()
+	if ev.call != nil {
+		ev.call(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -151,4 +176,69 @@ func (e *Engine) RunFor(d Time) {
 		panic(fmt.Sprintf("sim: negative duration %v", d))
 	}
 	e.RunUntil(e.now + d)
+}
+
+// ---- four-ary event heap ----
+
+// arity is the heap fan-out. Four keeps siblings in one or two cache
+// lines (an event is 48 bytes) and halves the depth of a binary heap.
+const arity = 4
+
+// push appends ev and restores the heap order with a hole-based sift-up:
+// the new event is written once, into its final slot.
+func (e *Engine) push(ev event) {
+	i := len(e.events)
+	e.events = append(e.events, event{})
+	for i > 0 {
+		p := (i - 1) / arity
+		if !ev.before(e.events[p]) {
+			break
+		}
+		e.events[i] = e.events[p]
+		i = p
+	}
+	e.events[i] = ev
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the heap drops its references to the callback and payload.
+func (e *Engine) pop() event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown re-inserts ev (the former tail) starting from the root,
+// walking hole-first: each level moves one event up instead of swapping.
+func (e *Engine) siftDown(ev event) {
+	n := len(e.events)
+	i := 0
+	for {
+		first := arity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + arity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.events[c].before(e.events[min]) {
+				min = c
+			}
+		}
+		if !e.events[min].before(ev) {
+			break
+		}
+		e.events[i] = e.events[min]
+		i = min
+	}
+	e.events[i] = ev
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"math/rand"
 	"sort"
 	"testing"
@@ -144,6 +145,187 @@ func TestEngineSortedProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// refEvent and refHeap are a reference implementation of the event queue
+// — the pre-refactor container/heap binary heap of boxed values — used
+// to pin the four-ary heap's order, including same-timestamp seq
+// ordering, against an independent structure.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestEngineEquivalenceWithBinaryHeap drives 10k randomized events —
+// timestamps drawn from a small range so duplicates are common — through
+// both the engine's four-ary heap and the reference binary heap, with
+// pushes interleaved into the drain, and requires the identical fire
+// order. Events alternate between the closure (At) and pooled (CallAt)
+// scheduling forms so both paths are pinned.
+func TestEngineEquivalenceWithBinaryHeap(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		ref := &refHeap{}
+		var seq uint64
+		var fired, want []int
+		const total = 10_000
+		id := 0
+		schedule := func() {
+			// A narrow window above now forces heavy timestamp collision.
+			at := e.Now() + Time(rng.Intn(50))
+			seq++
+			heap.Push(ref, refEvent{at: at, seq: seq, id: id})
+			this := id
+			if id%2 == 0 {
+				e.At(at, func() { fired = append(fired, this) })
+			} else {
+				e.CallAt(at, func(a any) { fired = append(fired, a.(int)) }, this)
+			}
+			id++
+		}
+		for id < total {
+			// Random bursts of pushes interleaved with partial drains.
+			for burst := rng.Intn(40); burst >= 0 && id < total; burst-- {
+				schedule()
+			}
+			for steps := rng.Intn(30); steps >= 0; steps-- {
+				if !e.Step() {
+					break
+				}
+				want = append(want, heap.Pop(ref).(refEvent).id)
+			}
+		}
+		for e.Step() {
+			want = append(want, heap.Pop(ref).(refEvent).id)
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("seed %d: reference heap still holds %d events", seed, ref.Len())
+		}
+		if len(fired) != total || len(want) != total {
+			t.Fatalf("seed %d: fired %d, reference %d, want %d", seed, len(fired), len(want), total)
+		}
+		for i := range fired {
+			if fired[i] != want[i] {
+				t.Fatalf("seed %d: fire order diverged from binary-heap reference at %d: got id %d, want %d",
+					seed, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEngineEdgeCases covers the boundary behaviors of the run loop:
+// RunUntil at the current time, events scheduled exactly at the
+// boundary, and scheduling in the past through both APIs.
+func TestEngineEdgeCases(t *testing.T) {
+	t.Run("RunUntilNow", func(t *testing.T) {
+		e := NewEngine()
+		e.At(10, func() {})
+		e.Run()
+		ran := 0
+		e.At(e.Now(), func() { ran++ }) // scheduling at now is legal
+		e.RunUntil(e.Now())             // a zero-width window still runs due events
+		if ran != 1 {
+			t.Fatalf("RunUntil(Now()) ran %d events, want 1", ran)
+		}
+		if e.Now() != 10 {
+			t.Fatalf("clock moved to %v, want 10", e.Now())
+		}
+	})
+	t.Run("BoundaryInclusive", func(t *testing.T) {
+		e := NewEngine()
+		var fired []Time
+		for _, at := range []Time{19, 20, 20, 21} {
+			at := at
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.RunUntil(20)
+		if len(fired) != 3 || fired[0] != 19 || fired[1] != 20 || fired[2] != 20 {
+			t.Fatalf("RunUntil(20) fired %v, want [19 20 20]", fired)
+		}
+		if e.Pending() != 1 {
+			t.Fatalf("pending %d, want the event past the boundary", e.Pending())
+		}
+	})
+	t.Run("AtPanicsOnPast", func(t *testing.T) {
+		e := NewEngine()
+		e.At(10, func() {})
+		e.Run()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("At in the past did not panic")
+			}
+		}()
+		e.At(9, func() {})
+	})
+	t.Run("CallAtPanicsOnPast", func(t *testing.T) {
+		e := NewEngine()
+		e.At(10, func() {})
+		e.Run()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CallAt in the past did not panic")
+			}
+		}()
+		e.CallAt(9, func(any) {}, nil)
+	})
+	t.Run("CallPanicsOnNegativeDelay", func(t *testing.T) {
+		e := NewEngine()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative Call delay did not panic")
+			}
+		}()
+		e.Call(-1, func(any) {}, nil)
+	})
+}
+
+// TestEngineCallDeliversArg pins the pooled form's payload plumbing and
+// its interleaving with closure events at one timestamp.
+func TestEngineCallDeliversArg(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Call(5, func(a any) { got = append(got, a.(int)) }, 1)
+	e.After(5, func() { got = append(got, 2) })
+	e.Call(5, func(a any) { got = append(got, a.(int)) }, 3)
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("mixed-form events fired %v, want [1 2 3]", got)
+	}
+}
+
+// TestEngineCallSteadyStateAllocs is the pooled path's contract: once
+// the heap slice has grown, a schedule-fire cycle allocates nothing.
+func TestEngineCallSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	arg := e // any pointer payload
+	if allocs := testing.AllocsPerRun(10_000, func() {
+		e.Call(1, fn, arg)
+		e.Step()
+	}); allocs != 0 {
+		t.Fatalf("steady-state Call+Step allocates %.1f/op, want 0", allocs)
 	}
 }
 

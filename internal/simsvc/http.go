@@ -134,9 +134,12 @@ func (m *Manager) Handler() http.Handler {
 			}
 			return nil
 		})
-		if err != nil && r.Context().Err() == nil {
+		if err != nil && r.Context().Err() == nil && !errors.Is(err, ErrJobEvicted) {
 			// Nothing streamed yet iff the job ID was unknown; headers may
 			// already be out otherwise, so only the lookup error is usable.
+			// An eviction mid-tail just ends the NDJSON stream: samples may
+			// already be on the wire, and the terminated connection is the
+			// signal.
 			writeError(w, http.StatusNotFound, err)
 		}
 	})

@@ -3,6 +3,7 @@ package simsvc
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,10 @@ type Job struct {
 	result  []byte // marshaled Result, set when status == StatusDone
 	samples []Sample
 	cancel  context.CancelFunc
+	// evicted is set when the job's handle leaves the table (RetainJobs
+	// eviction). Attached stream tails terminate on it instead of
+	// outliving the job they can no longer be looked up by.
+	evicted bool
 }
 
 // JobView is a job's serialized state (GET /jobs/{id}). Result holds the
@@ -217,6 +222,12 @@ func (m *Manager) evictLocked() {
 		if evict {
 			delete(m.jobs, id)
 			excess--
+			// Wake any attached stream tails: the handle is gone, so
+			// they must terminate instead of tailing an unreachable job.
+			job.mu.Lock()
+			job.evicted = true
+			job.cond.Broadcast()
+			job.mu.Unlock()
 			continue
 		}
 		kept = append(kept, id)
@@ -227,7 +238,16 @@ func (m *Manager) evictLocked() {
 // run executes one job on a worker: build the device, precondition,
 // drive the sampled workload, memoize the result.
 func (m *Manager) run(ctx context.Context, job *Job) {
-	job.transition(StatusRunning)
+	job.mu.Lock()
+	if job.status.terminal() {
+		// Cancelled while still queued: Cancel already failed the job
+		// (and counted it); the worker has nothing to do.
+		job.mu.Unlock()
+		return
+	}
+	job.status = StatusRunning
+	job.cond.Broadcast()
+	job.mu.Unlock()
 	m.running.Add(1)
 	defer m.running.Add(-1)
 	res, err := m.simulate(ctx, job)
@@ -311,9 +331,13 @@ func (m *Manager) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Cancel requests cancellation of a queued or running job. The job
-// transitions to failed (context.Canceled) at its next op boundary.
-// Cancelling a terminal job is a no-op reporting false.
+// Cancel requests cancellation of a queued or running job. A running
+// job transitions to failed (context.Canceled) at its next op boundary;
+// a job still waiting for a worker fails immediately — its waiters and
+// stream tails would otherwise stay blocked until a worker got around
+// to noticing the dead context, which behind a long backlog can be
+// arbitrarily far in the future. Cancelling a terminal job is a no-op
+// reporting false.
 func (m *Manager) Cancel(id string) (bool, error) {
 	job, ok := m.Job(id)
 	if !ok {
@@ -322,12 +346,20 @@ func (m *Manager) Cancel(id string) (bool, error) {
 	job.mu.Lock()
 	cancel := job.cancel
 	live := !job.status.terminal()
-	job.mu.Unlock()
-	if live && cancel != nil {
-		cancel()
-		return true, nil
+	if live && job.status == StatusQueued {
+		job.status = StatusFailed
+		job.errMsg = context.Canceled.Error()
+		job.cond.Broadcast()
+		m.failed.Add(1)
 	}
-	return false, nil
+	job.mu.Unlock()
+	if !live {
+		return false, nil
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true, nil
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx ends) and
@@ -354,11 +386,16 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
 	return job.view(), nil
 }
 
+// ErrJobEvicted terminates a sample stream whose job was evicted from
+// the table while the stream was attached: the handle is gone, so the
+// tail ends instead of outliving the job indefinitely.
+var ErrJobEvicted = errors.New("simsvc: job evicted while streaming")
+
 // StreamSamples replays the job's telemetry from the beginning and then
 // tails it live, calling fn for each sample in order, until the job is
-// terminal and fully delivered, fn errors (client gone), or ctx ends.
-// A subscriber that connects after the job finished still receives every
-// retained sample.
+// terminal and fully delivered, fn errors (client gone), ctx ends, or
+// the job is evicted from the table (ErrJobEvicted). A subscriber that
+// connects after the job finished still receives every retained sample.
 func (m *Manager) StreamSamples(ctx context.Context, id string, fn func(Sample) error) error {
 	job, ok := m.Job(id)
 	if !ok {
@@ -373,15 +410,20 @@ func (m *Manager) StreamSamples(ctx context.Context, id string, fn func(Sample) 
 	i := 0
 	for {
 		job.mu.Lock()
-		for i >= len(job.samples) && !job.status.terminal() && ctx.Err() == nil {
+		for i >= len(job.samples) && !job.status.terminal() && !job.evicted && ctx.Err() == nil {
 			job.cond.Wait()
 		}
 		pending := job.samples[i:]
 		done := job.status.terminal()
+		evicted := job.evicted
 		job.mu.Unlock()
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// Retained samples are never discarded: deliver what was
+		// snapshotted before acting on eviction, and a stream that has
+		// fully delivered a finished job completes cleanly even if the
+		// handle was evicted while the last batch was on the wire.
 		for _, s := range pending {
 			if err := fn(s); err != nil {
 				return err
@@ -390,6 +432,9 @@ func (m *Manager) StreamSamples(ctx context.Context, id string, fn func(Sample) 
 		}
 		if done && len(pending) == 0 {
 			return nil
+		}
+		if evicted {
+			return ErrJobEvicted
 		}
 	}
 }

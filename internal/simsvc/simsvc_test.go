@@ -5,11 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -275,6 +277,226 @@ func TestStreamLiveTail(t *testing.T) {
 	// 50k ops / 500 per sample + the final one.
 	if len(got) != 101 {
 		t.Fatalf("tailed %d samples, want 101", len(got))
+	}
+}
+
+// TestStreamTerminatesOnEviction holds a stream tail open on a finished
+// job (the delivery callback blocks, as a slow client would) while new
+// submissions evict that job under RetainJobs. The tail must terminate
+// promptly — delivering every retained sample and then returning —
+// instead of outliving the handle indefinitely.
+func TestStreamTerminatesOnEviction(t *testing.T) {
+	m := New(Options{Workers: 1, RetainJobs: 1, SampleEvery: 500})
+	defer m.Close()
+
+	job, err := m.Submit(smallSpec(2_000, 201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	first := make(chan struct{})
+	streamErr := make(chan error, 1)
+	delivered := 0
+	go func() {
+		streamErr <- m.StreamSamples(context.Background(), job.ID, func(Sample) error {
+			if delivered == 0 {
+				close(first)
+				<-gate // hold the tail open mid-delivery
+			}
+			delivered++
+			return nil
+		})
+	}()
+	<-first
+
+	// A new submission pushes the table past RetainJobs and evicts the
+	// finished job while its tail is still attached.
+	next, err := m.Submit(smallSpec(2_000, 202))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Job(job.ID); ok {
+		t.Fatal("job survived eviction; the test is not exercising the tail")
+	}
+	close(gate)
+
+	select {
+	case err := <-streamErr:
+		// Eviction never discards retained telemetry: a tail on a
+		// finished job delivers everything and completes cleanly; only
+		// a tail that would otherwise wait forever errors out.
+		if err != nil && !errors.Is(err, ErrJobEvicted) {
+			t.Fatalf("evicted tail returned %v, want nil or ErrJobEvicted", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream tail leaked past its job's eviction")
+	}
+	if delivered != view.Samples {
+		t.Fatalf("tail delivered %d of %d retained samples across the eviction", delivered, view.Samples)
+	}
+	if _, err := m.Wait(context.Background(), next.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamEvictionReleasesWaiter pins the wake-up half of the
+// eviction contract at the lowest level: a tail blocked in the sample
+// wait loop must be released when the job is marked evicted, not sleep
+// until a broadcast that will never come. The job is driven through the
+// internal states directly so the tail is genuinely parked on the cond
+// when the eviction lands.
+func TestStreamEvictionReleasesWaiter(t *testing.T) {
+	m := New(Options{Workers: 1, RetainJobs: 1})
+	defer m.Close()
+	job := &Job{ID: "job-x", status: StatusRunning}
+	job.cond = sync.NewCond(&job.mu)
+	// A second live job keeps the table over RetainJobs so evictLocked
+	// has an excess to shed.
+	other := &Job{ID: "job-y", status: StatusRunning}
+	other.cond = sync.NewCond(&other.mu)
+	m.mu.Lock()
+	m.jobs[job.ID] = job
+	m.jobs[other.ID] = other
+	m.order = append(m.order, job.ID, other.ID)
+	m.mu.Unlock()
+
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- m.StreamSamples(context.Background(), job.ID, func(Sample) error { return nil })
+	}()
+	// Let the tail reach the wait loop (no samples, job not terminal).
+	time.Sleep(20 * time.Millisecond)
+
+	job.mu.Lock()
+	job.status = StatusFailed // terminal, so eviction may take it
+	job.mu.Unlock()
+	m.mu.Lock()
+	m.evictLocked()
+	m.mu.Unlock()
+	if _, ok := m.Job(job.ID); ok {
+		t.Fatal("job not evicted")
+	}
+
+	select {
+	case err := <-streamErr:
+		// Terminal + zero samples completes cleanly; the point is that
+		// the waiter woke at all.
+		if err != nil && !errors.Is(err, ErrJobEvicted) {
+			t.Fatalf("released tail returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tail still parked on the cond after eviction")
+	}
+}
+
+// TestCancelQueuedJobFailsImmediately pins the backlog-cancellation
+// path: deleting a job that is still waiting for a worker fails it (and
+// releases its waiters and stream tails) right away, not whenever a
+// worker finally picks up the dead context — behind a long-running job
+// that could be arbitrarily far in the future.
+func TestCancelQueuedJobFailsImmediately(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 200})
+	defer m.Close()
+
+	// Occupy the only worker with a job too big to finish during the test.
+	big, err := m.Submit(smallSpec(5_000_000, 210))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if v := big.view(); v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("big job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	queued, err := m.Submit(smallSpec(2_000, 211))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := queued.view(); v.Status != StatusQueued {
+		t.Fatalf("second job is %s with one busy worker, want queued", v.Status)
+	}
+
+	tailErr := make(chan error, 1)
+	go func() {
+		tailErr <- m.StreamSamples(context.Background(), queued.ID, func(Sample) error { return nil })
+	}()
+
+	cancelled, err := m.Cancel(queued.ID)
+	if err != nil || !cancelled {
+		t.Fatalf("Cancel(queued) = %v, %v; want true, nil", cancelled, err)
+	}
+	if v := queued.view(); v.Status != StatusFailed {
+		t.Fatalf("cancelled queued job is %s, want failed immediately", v.Status)
+	}
+	select {
+	case err := <-tailErr:
+		if err != nil {
+			t.Fatalf("tail of cancelled queued job returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tail still blocked: cancellation did not release it")
+	}
+
+	// The worker that eventually drains the backlog must not resurrect
+	// the failed job or double-count it.
+	if _, err := m.Cancel(big.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), big.ID); err != nil {
+		t.Fatal(err)
+	}
+	if v := queued.view(); v.Status != StatusFailed {
+		t.Fatalf("queued job resurrected to %s after worker drain", v.Status)
+	}
+	if got := m.Stats().JobsFailed; got != 2 {
+		t.Fatalf("failed counter %d, want 2 (one cancel each)", got)
+	}
+}
+
+// TestReadOnlyJobJSON submits a pure-read workload: the write-side
+// histograms stay empty and the result payload must still marshal and
+// report zeroed write latency — the guard against non-finite JSON.
+func TestReadOnlyJobJSON(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 500})
+	defer m.Close()
+
+	spec := smallSpec(2_000, 220)
+	spec.Params.ReadFrac = 1.0
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("read-only job %s (error %q), want done", view.Status, view.Error)
+	}
+	var res Result
+	if err := json.Unmarshal(view.Result, &res); err != nil {
+		t.Fatalf("read-only payload does not parse: %v", err)
+	}
+	if res.Workload.Writes != 0 || res.Snapshot.BytesWritten != 0 {
+		t.Fatalf("read-only job wrote: %+v", res.Workload)
+	}
+	s := res.Snapshot
+	if s.MeanWriteMs != 0 || s.P50WriteMs != 0 || s.P95WriteMs != 0 || s.P99WriteMs != 0 {
+		t.Fatalf("write latency nonzero on read-only job: %+v", s)
+	}
+	if s.MeanReadMs <= 0 || s.P99ReadMs <= 0 {
+		t.Fatalf("read latency missing: %+v", s)
 	}
 }
 

@@ -25,6 +25,12 @@ type Request struct {
 	// already-acknowledged buffered write and stay out of host metrics.
 	internal bool
 	onDone   func(*Request)
+	// dev and remaining carry the completion state through the engine's
+	// pooled events: remaining counts the busy elements (plus the host
+	// link) still owed to this request, and dev lets the package-level
+	// event callbacks reach the device without a closure per event.
+	dev       *Device
+	remaining int
 }
 
 // Response returns the request's response time (completion - arrival).
@@ -204,7 +210,7 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 		return fmt.Errorf("ssd: request [%d, +%d) beyond capacity %d", op.Offset, op.Size, d.logicalBytes)
 	}
 	now := d.eng.Now()
-	req := &Request{Op: op, Arrive: now, onDone: onDone}
+	req := &Request{Op: op, Arrive: now, onDone: onDone, dev: d}
 	d.met.Requests++
 	// Write-back buffer: absorb the write at RAM speed and let an
 	// internal request do the media work. A full buffer bypasses.
@@ -219,12 +225,10 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 			// host has already been acknowledged).
 			drainOp := op
 			drainOp.Priority = false
-			d.enqueue(&Request{Op: drainOp, Arrive: now, internal: true})
+			d.enqueue(&Request{Op: drainOp, Arrive: now, internal: true, dev: d})
 			// The host sees the buffer-insert latency only.
-			d.eng.After(d.cfg.CtrlOverhead, func() {
-				req.Start = req.Arrive
-				d.complete(req)
-			})
+			req.Start = req.Arrive
+			d.eng.Call(d.cfg.CtrlOverhead, completeEvent, req)
 			d.drv.Pump()
 			return nil
 		}
@@ -269,13 +273,17 @@ func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 	var firstErr error
 	i := 0
 	var issue func()
+	// One completion callback for the whole loop: reissuing through a
+	// shared func value keeps the closed loop from allocating a closure
+	// per operation.
+	reissue := func(*Request) { issue() }
 	issue = func() {
 		op, ok := gen(i)
 		if !ok {
 			return
 		}
 		i++
-		if err := d.Submit(op, func(*Request) { issue() }); err != nil && firstErr == nil {
+		if err := d.Submit(op, reissue); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -355,23 +363,45 @@ func (d *Device) startClean(e int) bool {
 	}
 	d.met.BackgroundCleans++
 	d.q.SetBusy(e, d.eng.Now()+dur)
-	d.eng.After(dur, d.drv.Pump)
+	d.drv.PumpAfter(dur)
 	return true
+}
+
+// partDoneEvent is the pooled completion callback for one part (an
+// element's media work or the host link) of a request: the last part to
+// finish completes the request, and every finish frees capacity, so the
+// dispatch loop pumps either way.
+func partDoneEvent(a any) {
+	req := a.(*Request)
+	d := req.dev
+	req.remaining--
+	if req.remaining == 0 {
+		d.complete(req)
+	}
+	d.drv.Pump()
+}
+
+// completeEvent is the pooled callback for completions with no media
+// part, e.g. the host-visible acknowledgement of a buffered write.
+func completeEvent(a any) {
+	req := a.(*Request)
+	req.dev.complete(req)
 }
 
 // serve starts media service for a dispatched request: it executes the
 // request against the FTLs, marks the touched elements busy, models the
-// host link, and schedules the completion events.
+// host link, and schedules the completion events — all through the
+// engine's pooled event path, so dispatching allocates nothing.
 func (d *Device) serve(data any, now sim.Time) {
 	req := data.(*Request)
 	req.Start = now
 	durs := d.exec(req)
-	remaining := 0
+	req.remaining = 0
 	for e, dur := range durs {
 		if dur == 0 {
 			continue
 		}
-		remaining++
+		req.remaining++
 		d.q.SetBusy(e, now+dur+d.cfg.CtrlOverhead)
 	}
 	// The host link moves the request's data serially (but overlapped
@@ -383,17 +413,10 @@ func (d *Device) serve(data any, now sim.Time) {
 			start = d.linkBusy
 		}
 		d.linkBusy = start + linkTime
-		remaining++
-		left := &remaining
-		d.eng.After(d.linkBusy-now, func() {
-			*left--
-			if *left == 0 {
-				d.complete(req)
-			}
-			d.drv.Pump()
-		})
+		req.remaining++
+		d.eng.Call(d.linkBusy-now, partDoneEvent, req)
 	}
-	if remaining == 0 {
+	if req.remaining == 0 {
 		d.complete(req)
 		return
 	}
@@ -401,14 +424,7 @@ func (d *Device) serve(data any, now sim.Time) {
 		if dur == 0 {
 			continue
 		}
-		left := &remaining
-		d.eng.After(dur+d.cfg.CtrlOverhead, func() {
-			*left--
-			if *left == 0 {
-				d.complete(req)
-			}
-			d.drv.Pump()
-		})
+		d.eng.Call(dur+d.cfg.CtrlOverhead, partDoneEvent, req)
 	}
 }
 
