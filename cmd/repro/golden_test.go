@@ -7,6 +7,7 @@ import (
 	"os"
 	"testing"
 
+	"ossd/internal/core"
 	"ossd/internal/experiments"
 	"ossd/internal/runner"
 )
@@ -47,14 +48,21 @@ func reportBytes(t *testing.T, seed int64) []byte {
 // and 7 and requires the report bytes to hash to the recorded goldens.
 // The full suite takes about a minute per seed, so the test only runs
 // when REPRO_GOLDEN is set (CI sets it; see .github/workflows/ci.yml).
+// It runs the suite at shard counts 1, 2, and 4 against the same pinned
+// hashes: the parallel dataplane's contract is that sharding never
+// changes a report byte.
 func TestReportByteIdentity(t *testing.T) {
 	if os.Getenv("REPRO_GOLDEN") == "" {
 		t.Skip("set REPRO_GOLDEN=1 to run the full-report byte-identity check (~2 min)")
 	}
-	for seed, want := range reportGoldens {
-		sum := sha256.Sum256(reportBytes(t, seed))
-		if got := hex.EncodeToString(sum[:]); got != want {
-			t.Errorf("seed %d: report sha256 = %s, want %s (the simulation's observable behavior changed)", seed, got, want)
+	for _, shards := range []int{1, 2, 4} {
+		prev := core.SetDefaultShards(shards)
+		for seed, want := range reportGoldens {
+			sum := sha256.Sum256(reportBytes(t, seed))
+			if got := hex.EncodeToString(sum[:]); got != want {
+				t.Errorf("seed %d shards %d: report sha256 = %s, want %s (the simulation's observable behavior changed)", seed, shards, got, want)
+			}
 		}
+		core.SetDefaultShards(prev)
 	}
 }

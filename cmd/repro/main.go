@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"ossd/internal/core"
 	"ossd/internal/experiments"
 	"ossd/internal/runner"
 	"ossd/internal/simsvc"
@@ -35,8 +36,19 @@ func main() {
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		outPath = flag.String("o", "", "write the report to this file (default stdout)")
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON results instead of text tables")
+		shards  = flag.Int("shards", 0, "run shardable flash devices across this many engines (same report bytes; 0 = single-engine)")
 	)
 	flag.Parse()
+
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -shards %d\n", *shards)
+		os.Exit(2)
+	}
+	// Experiments build their devices internally, so the shard count
+	// travels as the process default; non-shardable configurations fall
+	// back to the single engine and the report bytes are identical
+	// either way.
+	core.SetDefaultShards(*shards)
 
 	cat := experiments.Catalog()
 	if *list {

@@ -33,6 +33,16 @@ func TestDeviceConformance(t *testing.T) {
 		mk   func() (Device, error)
 	}{
 		{"SSD", func() (Device, error) { return NewSSD(smallSSDConfig()) }},
+		{"SSD-sharded", func() (Device, error) {
+			s, err := NewSSD(smallSSDConfig())
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Raw.EnableSharding(2); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}},
 		{"HDD", func() (Device, error) {
 			p, err := ProfileByName("HDD")
 			if err != nil {
@@ -139,6 +149,33 @@ func TestDeviceConformance(t *testing.T) {
 			}
 			if d2b.Engine().Pending() != 0 {
 				t.Fatalf("drive left %d events pending", d2b.Engine().Pending())
+			}
+
+			// SubmitBatch: a same-instant run moves the same bytes as
+			// per-op submission and fires the shared callback per op.
+			d2d, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired := 0
+			batch := []trace.Op{
+				{Kind: trace.Write, Offset: 0, Size: 4096},
+				{Kind: trace.Write, Offset: 4096, Size: 4096},
+				{Kind: trace.Read, Offset: 0, Size: 4096},
+			}
+			if err := d2d.SubmitBatch(batch, func(r sim.Time, err error) {
+				if err == nil && r > 0 {
+					fired++
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			d2d.Engine().Run()
+			if fired != len(batch) {
+				t.Fatalf("batch callbacks fired %d, want %d", fired, len(batch))
+			}
+			if m := d2d.Metrics(); m.BytesWritten != 8192 || m.BytesRead != 4096 {
+				t.Fatalf("batch moved read %d written %d", m.BytesRead, m.BytesWritten)
 			}
 
 			// Drive surfaces a decoder error from the stream.

@@ -28,6 +28,12 @@ type Device interface {
 	// Submit enqueues an operation at the current simulated time; onDone
 	// (optional) receives the response time when it completes.
 	Submit(op trace.Op, onDone func(resp sim.Time, err error)) error
+	// SubmitBatch enqueues a run of operations, all arriving at the
+	// current simulated time, equivalent to submitting them in order.
+	// Media with a batch fast path (the SSD) amortize their dispatch
+	// pump over the run; the rest fall back to per-op submission. It
+	// stops at the first submission error.
+	SubmitBatch(ops []trace.Op, onDone func(resp sim.Time, err error)) error
 	// Free tells the device a byte range no longer holds live data (the
 	// TRIM/OSD-delete signal of §3.5). Devices without block management
 	// complete it as a metadata-only no-op.
@@ -127,6 +133,17 @@ func freeOp(off, size int64) trace.Op {
 	return trace.Op{Kind: trace.Free, Offset: off, Size: size}
 }
 
+// submitEach is the SubmitBatch fallback for media without a batch fast
+// path: a plain loop over Submit, stopping at the first error.
+func submitEach(d Device, ops []trace.Op, onDone func(sim.Time, error)) error {
+	for _, op := range ops {
+		if err := d.Submit(op, onDone); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // driveConfig carries the Drive-time knobs every wrapper embeds; the
 // shared setter is how Profile.NewDevice applies WithMaxPending to any
 // wrapper without per-type plumbing.
@@ -182,9 +199,10 @@ func (dl *driveLoop) next() {
 	dl.eng.CallAt(at, dl.arrive, dl)
 }
 
-// arriveEvent is the unbounded arrival: submit and pull the next op. On
-// a Submit error the loop stops pulling the stream; drive's engine run
-// then drains whatever is already in flight before returning.
+// arriveEvent is the unbounded arrival: submit, then pull the next op.
+// Submission precedes the next pull so a mid-stream error stops the
+// stream at the failing op; the engine run then drains whatever is
+// already in flight before drive returns.
 func arriveEvent(a any) {
 	dl := a.(*driveLoop)
 	if err := dl.d.Submit(dl.op, nil); err != nil {
@@ -339,14 +357,33 @@ func (s *SSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	return s.Raw.Submit(op, cb)
 }
 
+// SubmitBatch implements Device through the flash device's batch fast
+// path: one dispatch pump for the whole same-instant run.
+func (s *SSD) SubmitBatch(ops []trace.Op, onDone func(sim.Time, error)) error {
+	var cb func(*ssd.Request)
+	if onDone != nil {
+		cb = func(r *ssd.Request) { onDone(r.Response(), r.Err) }
+	}
+	return s.Raw.SubmitBatch(ops, cb)
+}
+
 // Free implements Device: the FTL drops the mapped pages.
 func (s *SSD) Free(off, size int64) error { return s.Raw.Submit(freeOp(off, size), nil) }
 
-// Drive implements Device.
-func (s *SSD) Drive(st trace.Stream) error { return drive(s, st, s.MaxPending) }
+// Drive implements Device. On a device built with shards (WithShards),
+// unbounded open-loop replay runs on the parallel dataplane — multiple
+// cores inside this one simulation, byte-identical to the single-engine
+// replay. Admission-controlled replay (WithMaxPending) paces arrivals to
+// completions, a feedback loop that belongs on one engine.
+func (s *SSD) Drive(st trace.Stream) error {
+	if s.MaxPending == 0 && s.Raw.Sharded() {
+		return s.Raw.DriveStream(st)
+	}
+	return drive(s, st, s.MaxPending)
+}
 
 // Play implements Device.
-func (s *SSD) Play(ops []trace.Op) error { return drive(s, trace.FromSlice(ops), s.MaxPending) }
+func (s *SSD) Play(ops []trace.Op) error { return s.Drive(trace.FromSlice(ops)) }
 
 // ClosedLoop implements Device.
 func (s *SSD) ClosedLoop(depth int, gen func(int) (trace.Op, bool)) error {
@@ -412,6 +449,11 @@ func (h *HDD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 		}
 	}
 	return h.Raw.Submit(op, cb)
+}
+
+// SubmitBatch implements Device (per-op fallback).
+func (h *HDD) SubmitBatch(ops []trace.Op, onDone func(sim.Time, error)) error {
+	return submitEach(h, ops, onDone)
 }
 
 // Free implements Device: disks have no TRIM; the request completes as a

@@ -44,6 +44,11 @@ func (r *RAID) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	return r.Raw.Submit(op, cb)
 }
 
+// SubmitBatch implements Device (per-op fallback).
+func (r *RAID) SubmitBatch(ops []trace.Op, onDone func(sim.Time, error)) error {
+	return submitEach(r, ops, onDone)
+}
+
 // Free implements Device: the array has no TRIM; the request completes as
 // a metadata no-op (and is counted in Snapshot.Frees).
 func (r *RAID) Free(off, size int64) error { return r.Submit(freeOp(off, size), nil) }
@@ -115,6 +120,11 @@ func (m *MEMS) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 		}
 	}
 	return m.Raw.Submit(op, cb)
+}
+
+// SubmitBatch implements Device (per-op fallback).
+func (m *MEMS) SubmitBatch(ops []trace.Op, onDone func(sim.Time, error)) error {
+	return submitEach(m, ops, onDone)
 }
 
 // Free implements Device: MEMS media writes in place; the request

@@ -82,6 +82,12 @@ func (o *OSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	}
 }
 
+// SubmitBatch implements Device (per-op fallback: the object path does
+// per-extent mapping work the flash batch pump cannot amortize).
+func (o *OSD) SubmitBatch(ops []trace.Op, onDone func(sim.Time, error)) error {
+	return submitEach(o, ops, onDone)
+}
+
 // Free implements Device: the notification travels the object path and
 // the FTL drops the backing pages.
 func (o *OSD) Free(off, size int64) error { return o.Store.FreeRange(o.vol, off, size, nil) }

@@ -183,6 +183,22 @@ func WithMaxPending(n int) Option {
 	}
 }
 
+// WithShards asks flash devices to run the open-loop dataplane across n
+// engines, one per element group — same reports, less wall clock (see
+// Profile.Shards). It is safe to apply suite-wide: media kinds and
+// configurations the parallel dataplane cannot decompose run
+// single-engine silently. 1 forces single-engine; 0 restores the
+// process default (SetDefaultShards).
+func WithShards(n int) Option {
+	return func(p *Profile) error {
+		if n < 0 {
+			return fmt.Errorf("core: shard count %d must be non-negative", n)
+		}
+		p.Shards = n
+		return nil
+	}
+}
+
 // WithSeed sets the profile's default measurement seed. The seed is
 // metadata carried on the Profile for callers that read it back via
 // ProfileByName (no built-in profile sets one; the devices themselves

@@ -1,6 +1,10 @@
 package sched
 
-import "ossd/internal/sim"
+import (
+	"sort"
+
+	"ossd/internal/sim"
+)
 
 // Queue is the stateful, indexed successor of the stateless Pick scan: a
 // dispatch queue that knows each parallel element's busy horizon and
@@ -227,6 +231,38 @@ func (q *Queue) release(now sim.Time) {
 			it = next
 		}
 		q.blocked[w.elem] = nil
+	}
+}
+
+// Drain removes every queued request — dispatchable or not — and visits
+// each in arrival (Seq) order, ignoring busy horizons. The horizons
+// themselves are left untouched. It exists for the sharded device's
+// merge transition: a shard queue's contents are re-enqueued onto the
+// gang-wide queue in global arrival order, so Drain is a rare-path
+// operation and may allocate.
+func (q *Queue) Drain(visit func(seq uint64, elems []int, data any)) {
+	var items []*item
+	for it := q.head; it != nil; it = it.next {
+		items = append(items, it)
+	}
+	q.head, q.tail = nil, nil
+	items = append(items, q.ready...)
+	for i := range q.ready {
+		q.ready[i] = nil
+	}
+	q.ready = q.ready[:0]
+	for e, it := range q.blocked {
+		for ; it != nil; it = it.next {
+			items = append(items, it)
+		}
+		q.blocked[e] = nil
+	}
+	q.wakes = q.wakes[:0]
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+	for _, it := range items {
+		visit(it.seq, it.elems, it.data)
+		q.length--
+		q.put(it)
 	}
 }
 

@@ -68,6 +68,12 @@ type ProfileOptions struct {
 	// arrival storm paces to the device instead of accumulating
 	// unbounded queue state on a worker.
 	MaxPending int `json:"max_pending,omitempty"`
+	// Shards runs shardable flash profiles across this many engines
+	// (core.WithShards): same result bytes, less worker wall clock.
+	// Because sharding never changes a result, it is excluded from the
+	// cache identity — specs differing only in Shards share one cache
+	// entry.
+	Shards int `json:"shards,omitempty"`
 }
 
 // build translates the JSON options into registry options.
@@ -113,6 +119,12 @@ func (o ProfileOptions) build() ([]core.Option, error) {
 	}
 	if o.MaxPending > 0 {
 		opts = append(opts, core.WithMaxPending(o.MaxPending))
+	}
+	if o.Shards < 0 {
+		return nil, fmt.Errorf("simsvc: negative shard count %d", o.Shards)
+	}
+	if o.Shards > 0 {
+		opts = append(opts, core.WithShards(o.Shards))
 	}
 	return opts, nil
 }
@@ -169,6 +181,11 @@ func (s *JobSpec) validate() error {
 // hash equally), matching the fingerprint style of the golden workload
 // tests.
 func (s JobSpec) Key() uint64 {
+	// Sharding is an execution knob, not a simulation parameter: the
+	// parallel dataplane is byte-identical to the single engine, so a
+	// spec's key must not depend on it (a sharded run warms the cache
+	// for single-engine requests and vice versa). s is a copy.
+	s.Options.Shards = 0
 	canonical, err := json.Marshal(s)
 	if err != nil {
 		// Specs are plain data; Marshal cannot fail on them.

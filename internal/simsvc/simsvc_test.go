@@ -674,3 +674,58 @@ func TestDiscoveryEndpoints(t *testing.T) {
 		t.Fatalf("healthz %v", health)
 	}
 }
+
+// TestShardsCacheIdentity pins the satellite contract for the shards
+// option: it is an execution knob, not a simulation parameter. A spec
+// differing only in Options.Shards shares the cache entry, and a
+// sharded run produces the same result fields as the single-engine run.
+func TestShardsCacheIdentity(t *testing.T) {
+	spec := smallSpec(20_000, 3)
+	shardedSpec := spec
+	shardedSpec.Options.Shards = 2
+	if spec.Key() != shardedSpec.Key() {
+		t.Fatal("specs differing only in shards must share a content address")
+	}
+
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	first := postJob(t, srv, shardedSpec)
+	firstDone := waitJob(t, srv, first.ID)
+	if firstDone.Status != StatusDone {
+		t.Fatalf("sharded run: %+v", firstDone)
+	}
+	// The single-engine resubmission is served from the sharded run's
+	// cache entry.
+	second := postJob(t, srv, spec)
+	if !second.Cached {
+		t.Fatal("single-engine spec missed the sharded run's cache entry")
+	}
+
+	// And the cached claim is honest: a single-engine run on a fresh
+	// service produces the same result, field for field, once the
+	// execution knob itself is masked out of the payload.
+	m2 := New(Options{Workers: 1})
+	defer m2.Close()
+	srv2 := httptest.NewServer(m2.Handler())
+	defer srv2.Close()
+	soloDone := waitJob(t, srv2, postJob(t, srv2, spec).ID)
+	if soloDone.Status != StatusDone {
+		t.Fatalf("single-engine run: %+v", soloDone)
+	}
+	var sharded, solo Result
+	if err := json.Unmarshal(firstDone.Result, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(soloDone.Result, &solo); err != nil {
+		t.Fatal(err)
+	}
+	sharded.Spec.Options.Shards = 0
+	a, _ := json.Marshal(sharded)
+	b, _ := json.Marshal(solo)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sharded result diverges from single-engine:\n%s\nvs\n%s", a, b)
+	}
+}

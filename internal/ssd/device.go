@@ -12,6 +12,11 @@ import (
 
 // Request is one I/O in flight through the device, with its lifecycle
 // timestamps filled in as it progresses.
+//
+// Lifetime contract: requests are pooled. A *Request handed to an onDone
+// callback is valid only until that callback returns; afterwards the
+// device may recycle it for a later submission. Callers that need any
+// field past completion must copy it inside the callback.
 type Request struct {
 	// Op is the originating trace operation.
 	Op trace.Op
@@ -31,6 +36,12 @@ type Request struct {
 	// event callbacks reach the device without a closure per event.
 	dev       *Device
 	remaining int
+	// gseq is the request's index in the global arrival stream, stamped
+	// by the sharded router so that a merge transition can re-interleave
+	// shard queues in arrival order. Zero on unsharded devices.
+	gseq uint64
+	// nextFree links the device freelist.
+	nextFree *Request
 }
 
 // Response returns the request's response time (completion - arrival).
@@ -97,7 +108,42 @@ type Device struct {
 	// bufOccupancy tracks undrained bytes in the write buffer.
 	bufOccupancy int64
 
+	// freeReq heads the request freelist; see the Request lifetime
+	// contract. Steady-state submission reuses completed requests, so the
+	// host path allocates nothing.
+	freeReq *Request
+
+	// elemLo/elemHi bound the elements this device instance cleans. A
+	// standalone device owns [0, Elements); a shard sub-device owns only
+	// its element group, so concurrent shards never clean each other's
+	// backends. The dispatch path needs no such bound: requests are
+	// routed to shards by element group before submission.
+	elemLo, elemHi int
+
+	// recording diverts response-time samples into samples[] instead of
+	// the metric histograms. Shard sub-devices record; the gang merges
+	// the logs in global completion order at window barriers so the
+	// histograms see samples in the same order a single engine would.
+	recording bool
+	samples   []completionSample
+	// nextGseq stamps Request.gseq at submission; the sharded router
+	// sets it per arrival.
+	nextGseq uint64
+
+	// shard, when non-nil, is the parallel dataplane: per-element-group
+	// sub-devices on private engines, driven by DriveStream. See gang.go.
+	shard *gang
+
 	met Metrics
+}
+
+// completionSample is one recorded host completion: enough to replay the
+// histogram updates of complete() in globally merged order.
+type completionSample struct {
+	done, start sim.Time
+	ms          float64
+	kind        trace.Kind
+	pri         bool
 }
 
 // New builds a device on the given engine.
@@ -105,22 +151,33 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Device{
-		cfg:        cfg,
-		eng:        eng,
-		touched:    make([]bool, cfg.Elements),
-		durScratch: make([]sim.Time, cfg.Elements),
-	}
-	d.q = sched.NewQueue(cfg.Scheduler, cfg.Elements)
-	d.drv = sched.NewDriver(eng, d.q, d.serve)
-	d.drv.SetHooks(d.mandatoryClean, d.opportunisticClean)
+	var elems []ftl.Backend
 	for i := 0; i < cfg.Elements; i++ {
 		el, err := ftl.NewBackend(cfg.Scheme, cfg.ftlConfig(i))
 		if err != nil {
 			return nil, err
 		}
-		d.elems = append(d.elems, el)
+		elems = append(elems, el)
 	}
+	return newWithBackends(eng, cfg, elems, 0, cfg.Elements)
+}
+
+// newWithBackends builds a device over existing FTL backends, cleaning
+// only elements in [lo, hi). It is how shard sub-devices alias the gang's
+// backends while owning a private engine, queue, and metrics.
+func newWithBackends(eng *sim.Engine, cfg Config, elems []ftl.Backend, lo, hi int) (*Device, error) {
+	d := &Device{
+		cfg:        cfg,
+		eng:        eng,
+		elems:      elems,
+		touched:    make([]bool, cfg.Elements),
+		durScratch: make([]sim.Time, cfg.Elements),
+		elemLo:     lo,
+		elemHi:     hi,
+	}
+	d.q = sched.NewQueue(cfg.Scheduler, cfg.Elements)
+	d.drv = sched.NewDriver(eng, d.q, d.serve)
+	d.drv.SetHooks(d.mandatoryClean, d.opportunisticClean)
 	perElemPages := d.elems[0].LogicalPages()
 	pageSize := int64(cfg.Geom.PageSize)
 	switch cfg.Layout {
@@ -198,19 +255,80 @@ func (d *Device) WriteAmplification() float64 {
 	return float64(g.HostPageWrites+g.PagesMoved) / hostPages
 }
 
-// Submit enqueues an operation at the current simulated time. onDone, if
-// non-nil, runs at completion. Frees are metadata-only (zero service
-// time) but still flow through the dispatch queue so they order behind
-// earlier writes to the same elements.
-func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
+// admit validates an operation against the device without mutating any
+// state. It is the complete set of Submit's error paths, which lets the
+// sharded router pre-validate a batch and inject it knowing no mid-batch
+// submission can fail.
+func (d *Device) admit(op trace.Op) error {
 	if err := op.Validate(); err != nil {
 		return err
 	}
 	if op.End() > d.logicalBytes {
 		return fmt.Errorf("ssd: request [%d, +%d) beyond capacity %d", op.Offset, op.Size, d.logicalBytes)
 	}
+	return nil
+}
+
+// takeReq pops a pooled request (or allocates the pool's next one) and
+// resets it.
+func (d *Device) takeReq() *Request {
+	if r := d.freeReq; r != nil {
+		d.freeReq = r.nextFree
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// putReq recycles a completed request. Only the callback reference is
+// dropped eagerly (for the collector); the remaining fields are cleared
+// on take, which keeps stale pointers readable for debugging.
+func (d *Device) putReq(r *Request) {
+	r.onDone = nil
+	r.nextFree = d.freeReq
+	d.freeReq = r
+}
+
+// Submit enqueues an operation at the current simulated time. onDone, if
+// non-nil, runs at completion. Frees are metadata-only (zero service
+// time) but still flow through the dispatch queue so they order behind
+// earlier writes to the same elements.
+//
+// The *Request passed to onDone is pooled: it must not be retained after
+// the callback returns.
+func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
+	return d.submit(op, onDone, true)
+}
+
+// SubmitBatch enqueues a run of operations all arriving now, pumping the
+// dispatch loop once at the end instead of per operation. Because the
+// batch is same-instant, deferring the pump reaches the identical
+// dispatch fixpoint the per-op pumps would: each pump dispatches the
+// lowest-eligible request and marks elements busy, and no simulated time
+// passes between the enqueues either way. It stops at the first
+// submission error.
+func (d *Device) SubmitBatch(ops []trace.Op, onDone func(*Request)) error {
+	for _, op := range ops {
+		if err := d.submit(op, onDone, false); err != nil {
+			d.drv.Pump()
+			return err
+		}
+	}
+	d.drv.Pump()
+	return nil
+}
+
+func (d *Device) submit(op trace.Op, onDone func(*Request), pump bool) error {
+	if err := d.admit(op); err != nil {
+		return err
+	}
 	now := d.eng.Now()
-	req := &Request{Op: op, Arrive: now, onDone: onDone, dev: d}
+	req := d.takeReq()
+	req.Op = op
+	req.Arrive = now
+	req.onDone = onDone
+	req.dev = d
+	req.gseq = d.nextGseq
 	d.met.Requests++
 	// Write-back buffer: absorb the write at RAM speed and let an
 	// internal request do the media work. A full buffer bypasses.
@@ -223,19 +341,27 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 			}
 			// The drain request does the media work without priority (the
 			// host has already been acknowledged).
-			drainOp := op
-			drainOp.Priority = false
-			d.enqueue(&Request{Op: drainOp, Arrive: now, internal: true, dev: d})
+			drain := d.takeReq()
+			drain.Op = op
+			drain.Op.Priority = false
+			drain.Arrive = now
+			drain.internal = true
+			drain.dev = d
+			d.enqueue(drain)
 			// The host sees the buffer-insert latency only.
 			req.Start = req.Arrive
 			d.eng.Call(d.cfg.CtrlOverhead, completeEvent, req)
-			d.drv.Pump()
+			if pump {
+				d.drv.Pump()
+			}
 			return nil
 		}
 		d.met.BufferBypass++
 	}
 	d.enqueue(req)
-	d.drv.Pump()
+	if pump {
+		d.drv.Pump()
+	}
 	return nil
 }
 
@@ -306,7 +432,7 @@ func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 // of the outstanding requests").
 func (d *Device) mandatoryClean(now sim.Time) bool {
 	progress := false
-	for e := range d.elems {
+	for e := d.elemLo; e < d.elemHi; e++ {
 		if d.q.Busy(e) > now {
 			continue
 		}
@@ -322,7 +448,7 @@ func (d *Device) mandatoryClean(now sim.Time) bool {
 // outstanding.
 func (d *Device) opportunisticClean(now sim.Time) bool {
 	progress := false
-	for e := range d.elems {
+	for e := d.elemLo; e < d.elemHi; e++ {
 		if d.q.Busy(e) > now {
 			continue
 		}
@@ -442,6 +568,7 @@ func (d *Device) complete(req *Request) {
 		// A buffered write finished its media work: release the buffer
 		// space; the host already saw its completion.
 		d.bufOccupancy -= req.Op.Size
+		d.putReq(req)
 		return
 	}
 	d.met.Completed++
@@ -454,13 +581,11 @@ func (d *Device) complete(req *Request) {
 		ms := req.Response().Millis()
 		switch req.Op.Kind {
 		case trace.Read:
-			d.met.ReadResp.Add(ms)
 			d.met.BytesRead += req.Op.Size
-			d.addClassResp(req, ms)
+			d.recordResp(req, ms)
 		case trace.Write:
-			d.met.WriteResp.Add(ms)
 			d.met.BytesWritten += req.Op.Size
-			d.addClassResp(req, ms)
+			d.recordResp(req, ms)
 		case trace.Free:
 			d.met.Frees++
 		}
@@ -468,4 +593,29 @@ func (d *Device) complete(req *Request) {
 	if req.onDone != nil {
 		req.onDone(req)
 	}
+	d.putReq(req)
+}
+
+// recordResp folds a host completion into the response-time histograms —
+// or, on a recording shard sub-device, into the sample log the gang
+// replays in global completion order (Welford accumulation is
+// order-sensitive, so shards must not fold their own).
+func (d *Device) recordResp(req *Request, ms float64) {
+	if d.recording {
+		d.samples = append(d.samples, completionSample{
+			done:  req.Done,
+			start: req.Start,
+			ms:    ms,
+			kind:  req.Op.Kind,
+			pri:   req.Op.Priority,
+		})
+		return
+	}
+	switch req.Op.Kind {
+	case trace.Read:
+		d.met.ReadResp.Add(ms)
+	case trace.Write:
+		d.met.WriteResp.Add(ms)
+	}
+	d.addClassResp(req, ms)
 }
