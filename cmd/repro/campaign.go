@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ossd/internal/campaign"
+)
+
+// campaignFlags carries the -campaign client mode's knobs.
+type campaignFlags struct {
+	specPath string
+	addr     string
+	rows     string
+	cols     string
+	metric   string
+	asJSON   bool
+}
+
+// getJSON decodes a JSON GET response into v.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// runCampaign drives a remote sweep: POST the spec file to simd, poll
+// progress to stderr until the campaign is terminal, then stream every
+// cell result and render either the NDJSON results (-json) or a
+// comparison table across two axes — through campaign.Table, the same
+// renderer behind the server's /table endpoint. It returns whether any
+// cell failed.
+func runCampaign(out io.Writer, f campaignFlags) (failed bool, err error) {
+	specBytes, err := os.ReadFile(f.specPath)
+	if err != nil {
+		return false, err
+	}
+	base := strings.TrimSuffix(f.addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader(specBytes))
+	if err != nil {
+		return false, err
+	}
+	var prog campaign.Progress
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return false, fmt.Errorf("POST /campaigns: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if err := json.Unmarshal(body, &prog); err != nil {
+		return false, err
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: %d cells over axes %s\n",
+		prog.ID, prog.Total, strings.Join(prog.Axes, ", "))
+
+	for prog.Status == "running" {
+		time.Sleep(500 * time.Millisecond)
+		if err := getJSON(base+"/campaigns/"+prog.ID, &prog); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d/%d settled (%d cached, %d failed, %d running) eta %.0fs\n",
+			prog.ID, prog.Done+prog.Failed, prog.Total, prog.CacheHits, prog.Failed, prog.Running, prog.ETASeconds)
+	}
+
+	sresp, err := http.Get(base + "/campaigns/" + prog.ID + "/stream")
+	if err != nil {
+		return false, err
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(sresp.Body)
+		return false, fmt.Errorf("GET /stream: %s: %s", sresp.Status, bytes.TrimSpace(b))
+	}
+	var cells []campaign.CellResult
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var cr campaign.CellResult
+		if err := json.Unmarshal(sc.Bytes(), &cr); err != nil {
+			return false, err
+		}
+		cells = append(cells, cr)
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+
+	if f.asJSON {
+		enc := json.NewEncoder(out)
+		for _, cr := range cells {
+			if err := enc.Encode(cr); err != nil {
+				return false, err
+			}
+		}
+		return prog.Failed > 0, nil
+	}
+
+	rows, cols, metric, err := campaign.ResolveTableAxes(prog.Axes, f.rows, f.cols, f.metric)
+	if err != nil {
+		return false, err
+	}
+	title := fmt.Sprintf("Campaign %s: %s by %s x %s", prog.ID, metric, rows, cols)
+	grid, err := campaign.Table(title, cells, rows, cols, metric)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprint(out, grid.String())
+	return prog.Failed > 0, nil
+}

@@ -6,11 +6,18 @@
 // and prints each result in the paper's format; -run selects a subset;
 // -json emits the machine-readable encoding instead of text tables.
 //
+// With -campaign it becomes a sweep client instead: the spec file (a
+// JobSpec template plus axes) is POSTed to a running simd, progress is
+// reported until the grid completes, and the results render as a
+// comparison table across two axes — the same renderer the server's
+// /table endpoint uses.
+//
 //	repro                  # everything
 //	repro -run table2,figure3
 //	repro -list            # show available experiments
 //	repro -seed 7 -workers 4 -o report.txt
 //	repro -run table2 -json -o report.json
+//	repro -campaign sweep.json -addr localhost:8080 -rows params.seed -cols options.scheduler -metric write_mbps
 package main
 
 import (
@@ -37,6 +44,12 @@ func main() {
 		outPath = flag.String("o", "", "write the report to this file (default stdout)")
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON results instead of text tables")
 		shards  = flag.Int("shards", 0, "run shardable flash devices across this many engines (same report bytes; 0 = single-engine)")
+
+		campaignSpec = flag.String("campaign", "", "drive a remote sweep: path to a campaign spec file (template + axes)")
+		addr         = flag.String("addr", "localhost:8080", "simd address for -campaign")
+		rows         = flag.String("rows", "", "table rows axis for -campaign (default: first axis)")
+		cols         = flag.String("cols", "", "table cols axis for -campaign (default: second axis)")
+		metric       = flag.String("metric", "", "table metric for -campaign, a dotted result path (default: write_mbps)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,25 @@ func main() {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	if *campaignSpec != "" {
+		failed, err := runCampaign(out, campaignFlags{
+			specPath: *campaignSpec,
+			addr:     *addr,
+			rows:     *rows,
+			cols:     *cols,
+			metric:   *metric,
+			asJSON:   *asJSON,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}

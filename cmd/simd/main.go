@@ -1,7 +1,8 @@
 // Command simd serves the simulator as an HTTP service: submit
 // simulation jobs (any registered device profile driven by any named
-// workload generator), watch their telemetry stream live, and rerun any
-// of the paper's experiments remotely. Identical jobs are served from a
+// workload generator), watch their telemetry stream live, sweep whole
+// parameter grids as campaigns, and rerun any of the paper's
+// experiments remotely. Identical jobs are served from a
 // content-addressed result cache — sound because every simulation is
 // deterministic from its spec.
 //
@@ -11,6 +12,9 @@
 //	    "params":{"ops":100000,"capacity_bytes":8388608,"seed":1}}' localhost:8080/jobs
 //	curl -s 'localhost:8080/jobs/job-1?wait=1'
 //	curl -sN localhost:8080/jobs/job-1/stream
+//	curl -s -X POST -d '{"template":{...},"axes":[{"name":"params.seed",
+//	    "range":{"from":1,"to":10}}]}' localhost:8080/campaigns
+//	curl -s 'localhost:8080/campaigns/campaign-1/table?rows=params.seed&cols=options.scheduler'
 //	curl -s -X POST localhost:8080/experiments/table2
 package main
 
@@ -25,16 +29,18 @@ import (
 	"syscall"
 	"time"
 
+	"ossd/internal/campaign"
 	"ossd/internal/simsvc"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		backlog = flag.Int("backlog", 0, "queued-job bound before load shedding (0 = 256)")
-		cacheN  = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
-		sample  = flag.Int("sample", 0, "telemetry sample cadence in ops (0 = 1000)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		backlog  = flag.Int("backlog", 0, "queued-job bound before load shedding (0 = 256)")
+		cacheN   = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
+		sample   = flag.Int("sample", 0, "telemetry sample cadence in ops (0 = 1000)")
+		maxCells = flag.Int("max-cells", 0, "campaign expansion guard in cells (0 = 4096)")
 	)
 	flag.Parse()
 
@@ -44,7 +50,11 @@ func main() {
 		CacheEntries: *cacheN,
 		SampleEvery:  *sample,
 	})
-	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+	camp := campaign.New(mgr, campaign.Options{MaxCells: *maxCells})
+	mux := http.NewServeMux()
+	camp.Register(mux)
+	mux.Handle("/", mgr.Handler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -63,6 +73,7 @@ func main() {
 	// on ?wait=1 or /stream complete with responses, then stop accepting
 	// requests and drain the pool.
 	fmt.Fprintln(os.Stderr, "simd: shutting down")
+	camp.CancelAll()
 	mgr.CancelAll()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -1,0 +1,198 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ossd/internal/simsvc"
+	"ossd/internal/workload"
+)
+
+// template is a small, valid job template for expansion tests.
+func template(ops int) simsvc.JobSpec {
+	return simsvc.JobSpec{
+		Profile:  "ssd",
+		Workload: "synthetic",
+		Params: workload.GenParams{
+			Ops:                ops,
+			CapacityBytes:      4 << 20,
+			ReadFrac:           0.5,
+			MeanInterarrivalUs: 50,
+			Seed:               1,
+		},
+	}
+}
+
+// vals turns JSON literals into axis values.
+func vals(lits ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(lits))
+	for i, l := range lits {
+		out[i] = json.RawMessage(l)
+	}
+	return out
+}
+
+// TestExpandCanonicalOrder pins the cell order: axes iterate in spec
+// order with the last axis varying fastest, and coordinates carry the
+// substituted values in axis order.
+func TestExpandCanonicalOrder(t *testing.T) {
+	spec := Spec{
+		Template: template(100),
+		Axes: []Axis{
+			{Name: "params.seed", Values: vals("1", "2", "3")},
+			{Name: "options.scheduler", Values: vals(`"fcfs"`, `"swtf"`)},
+		},
+	}
+	cells, err := Expand(spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	wantSeed := []int64{1, 1, 2, 2, 3, 3}
+	wantSched := []string{"fcfs", "swtf", "fcfs", "swtf", "fcfs", "swtf"}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d: index %d", i, c.Index)
+		}
+		if c.Spec.Params.Seed != wantSeed[i] || c.Spec.Options.Scheduler != wantSched[i] {
+			t.Errorf("cell %d: seed=%d sched=%q, want seed=%d sched=%q",
+				i, c.Spec.Params.Seed, c.Spec.Options.Scheduler, wantSeed[i], wantSched[i])
+		}
+		if c.Coords[0].Name != "params.seed" || c.Coords[0].Value != strconv.FormatInt(wantSeed[i], 10) ||
+			c.Coords[1].Name != "options.scheduler" || c.Coords[1].Value != wantSched[i] {
+			t.Errorf("cell %d coords: %v", i, c.Coords)
+		}
+		// The template's untouched fields survive substitution.
+		if c.Spec.Params.Ops != 100 || c.Spec.Profile != "ssd" {
+			t.Errorf("cell %d lost template fields: %+v", i, c.Spec)
+		}
+		if c.DupOf != -1 {
+			t.Errorf("cell %d: unexpected dup of %d", i, c.DupOf)
+		}
+	}
+}
+
+// TestExpandRange pins the integer-range convenience.
+func TestExpandRange(t *testing.T) {
+	spec := Spec{
+		Template: template(100),
+		Axes:     []Axis{{Name: "params.seed", Range: &Range{From: 1, To: 5, Step: 2}}},
+	}
+	cells, err := Expand(spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, c := range cells {
+		got = append(got, c.Spec.Params.Seed)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("range expanded to %v, want [1 3 5]", got)
+	}
+}
+
+// TestExpandZeroAxes: a campaign with no axes is the one-cell campaign.
+func TestExpandZeroAxes(t *testing.T) {
+	cells, err := Expand(Spec{Template: template(100)}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Spec != template(100) {
+		t.Fatalf("zero-axis expansion: %+v", cells)
+	}
+}
+
+// TestExpandDupKeys: an options.shards axis produces identical cache
+// keys (shards are excluded from the identity), marked as duplicates of
+// the first cell.
+func TestExpandDupKeys(t *testing.T) {
+	spec := Spec{
+		Template: template(100),
+		Axes:     []Axis{{Name: "options.shards", Values: vals("1", "2", "4")}},
+	}
+	cells, err := Expand(spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if cells[0].DupOf != -1 || cells[1].DupOf != 0 || cells[2].DupOf != 0 {
+		t.Fatalf("dup marks: %d %d %d", cells[0].DupOf, cells[1].DupOf, cells[2].DupOf)
+	}
+	if cells[0].Key != cells[1].Key || cells[1].Key != cells[2].Key {
+		t.Fatalf("keys differ: %x %x %x", cells[0].Key, cells[1].Key, cells[2].Key)
+	}
+}
+
+// TestExpandErrors walks the rejection paths: every bad spec fails at
+// expansion, before anything could be enqueued.
+func TestExpandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		max  int
+		want string
+	}{
+		{"unnamed axis", Spec{Template: template(100), Axes: []Axis{{Values: vals("1")}}}, 4096, "has no name"},
+		{"duplicate axis", Spec{Template: template(100), Axes: []Axis{
+			{Name: "params.seed", Values: vals("1")},
+			{Name: "params.seed", Values: vals("2")},
+		}}, 4096, "duplicate axis"},
+		{"no values", Spec{Template: template(100), Axes: []Axis{{Name: "params.seed"}}}, 4096, "has no values"},
+		{"values and range", Spec{Template: template(100), Axes: []Axis{
+			{Name: "params.seed", Values: vals("1"), Range: &Range{From: 1, To: 2}},
+		}}, 4096, "both values and range"},
+		{"empty range", Spec{Template: template(100), Axes: []Axis{
+			{Name: "params.seed", Range: &Range{From: 5, To: 1}},
+		}}, 4096, "empty range"},
+		{"unknown field", Spec{Template: template(100), Axes: []Axis{
+			{Name: "params.sed", Values: vals("1")},
+		}}, 4096, "unknown field"},
+		{"non-object segment", Spec{Template: template(100), Axes: []Axis{
+			{Name: "profile.x", Values: vals("1")},
+		}}, 4096, "is not an object"},
+		{"wrong type", Spec{Template: template(100), Axes: []Axis{
+			{Name: "profile", Values: vals("3")},
+		}}, 4096, "cannot unmarshal"},
+		{"invalid option", Spec{Template: template(100), Axes: []Axis{
+			{Name: "options.scheduler", Values: vals(`"bogus"`)},
+		}}, 4096, "unknown scheduler"},
+		{"guard exceeded", Spec{Template: template(100), Axes: []Axis{
+			{Name: "params.seed", Range: &Range{From: 1, To: 100}},
+		}}, 10, "exceeds 10 cells"},
+		{"spec guard lowers", Spec{Template: template(100), MaxCells: 3, Axes: []Axis{
+			{Name: "params.seed", Range: &Range{From: 1, To: 10}},
+		}}, 4096, "exceeds 3 cells"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Expand(tc.spec, tc.max)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResolveTableAxes pins the table parameter defaulting shared by
+// the HTTP endpoint and cmd/repro.
+func TestResolveTableAxes(t *testing.T) {
+	axes := []string{"params.seed", "options.scheduler"}
+	rows, cols, metric, err := ResolveTableAxes(axes, "", "", "")
+	if err != nil || rows != "params.seed" || cols != "options.scheduler" || metric != "write_mbps" {
+		t.Fatalf("defaults: %q %q %q %v", rows, cols, metric, err)
+	}
+	// rows pinned to the second axis: cols defaults to the other one.
+	rows, cols, _, err = ResolveTableAxes(axes, "options.scheduler", "", "")
+	if err != nil || rows != "options.scheduler" || cols != "params.seed" {
+		t.Fatalf("pinned rows: %q %q %v", rows, cols, err)
+	}
+	if _, _, _, err := ResolveTableAxes([]string{"one"}, "", "", ""); err == nil {
+		t.Fatal("one-axis campaign should need explicit rows/cols")
+	}
+}

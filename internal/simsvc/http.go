@@ -90,7 +90,7 @@ func (m *Manager) Handler() http.Handler {
 			writeError(w, status, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, job.view())
+		writeJSON(w, http.StatusAccepted, job.View())
 	})
 
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -109,7 +109,7 @@ func (m *Manager) Handler() http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("simsvc: no job %q", id))
 			return
 		}
-		writeJSON(w, http.StatusOK, job.view())
+		writeJSON(w, http.StatusOK, job.View())
 	})
 
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ossd/internal/core"
 	"ossd/internal/runner"
@@ -46,6 +47,12 @@ type Job struct {
 	result  []byte // marshaled Result, set when status == StatusDone
 	samples []Sample
 	cancel  context.CancelFunc
+	// Lifecycle timestamps (wall clock): submitted is set at Submit,
+	// started when a worker picks the job up (zero for cache hits, which
+	// never run), finished at the terminal transition.
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 	// evicted is set when the job's handle leaves the table (RetainJobs
 	// eviction). Attached stream tails terminate on it instead of
 	// outliving the job they can no longer be looked up by.
@@ -54,36 +61,46 @@ type Job struct {
 
 // JobView is a job's serialized state (GET /jobs/{id}). Result holds the
 // cached payload verbatim, so identical specs yield byte-identical
-// result fields.
+// result fields. The lifecycle timestamps are wall clock (not simulated
+// time): StartedAt is zero for cache hits, which complete without ever
+// running; QueueWaitMs and RunMs are derived conveniences (zero until
+// the phase they measure has completed).
 type JobView struct {
-	ID      string          `json:"id"`
-	Status  Status          `json:"status"`
-	Cached  bool            `json:"cached"`
-	Error   string          `json:"error,omitempty"`
-	Samples int             `json:"samples"`
-	Result  json.RawMessage `json:"result,omitempty"`
+	ID          string          `json:"id"`
+	Status      Status          `json:"status"`
+	Cached      bool            `json:"cached"`
+	Error       string          `json:"error,omitempty"`
+	Samples     int             `json:"samples"`
+	SubmittedAt time.Time       `json:"submitted_at,omitzero"`
+	StartedAt   time.Time       `json:"started_at,omitzero"`
+	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+	QueueWaitMs float64         `json:"queue_wait_ms,omitempty"`
+	RunMs       float64         `json:"run_ms,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
 }
 
-// view snapshots the job under its lock.
-func (j *Job) view() JobView {
+// View snapshots the job under its lock.
+func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobView{
-		ID:      j.ID,
-		Status:  j.status,
-		Cached:  j.cached,
-		Error:   j.errMsg,
-		Samples: len(j.samples),
-		Result:  json.RawMessage(j.result),
+	v := JobView{
+		ID:          j.ID,
+		Status:      j.status,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		Samples:     len(j.samples),
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Result:      json.RawMessage(j.result),
 	}
-}
-
-// transition moves the job to a new state and wakes every waiter.
-func (j *Job) transition(s Status) {
-	j.mu.Lock()
-	j.status = s
-	j.cond.Broadcast()
-	j.mu.Unlock()
+	if !j.started.IsZero() {
+		v.QueueWaitMs = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		if !j.finished.IsZero() {
+			v.RunMs = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	return v
 }
 
 // fail marks the job failed with the given cause.
@@ -91,6 +108,7 @@ func (j *Job) fail(err error) {
 	j.mu.Lock()
 	j.status = StatusFailed
 	j.errMsg = err.Error()
+	j.finished = time.Now()
 	j.cond.Broadcast()
 	j.mu.Unlock()
 }
@@ -123,6 +141,18 @@ type Manager struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	running   atomic.Int64
+
+	// aggMu guards the duration aggregates: queue wait is recorded when
+	// a worker picks a job up, run duration when a simulation completes.
+	// Cache hits never run, so they appear in neither.
+	aggMu     sync.Mutex
+	queueWait stats.Mean
+	runDur    stats.Mean
+
+	// campaignStats, when set, is folded into Stats under "campaigns" —
+	// the hook the campaign subsystem uses to surface its counters in
+	// /statsz without simsvc importing it.
+	campaignStats func() any
 }
 
 // New builds a Manager and starts its worker pool.
@@ -149,10 +179,10 @@ func New(opts Options) *Manager {
 // cache hit completes the job immediately — no worker, no simulation —
 // with the memoized payload.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	job := &Job{Spec: spec, status: StatusQueued}
+	job := &Job{Spec: spec, status: StatusQueued, submitted: time.Now()}
 	job.cond = sync.NewCond(&job.mu)
 
 	m.mu.Lock()
@@ -169,6 +199,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		job.cached = true
 		job.result = payload
 		job.status = StatusDone
+		job.finished = time.Now()
 		job.cond.Broadcast()
 		job.mu.Unlock()
 		m.completed.Add(1)
@@ -246,8 +277,13 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 		return
 	}
 	job.status = StatusRunning
+	job.started = time.Now()
+	wait := job.started.Sub(job.submitted)
 	job.cond.Broadcast()
 	job.mu.Unlock()
+	m.aggMu.Lock()
+	m.queueWait.Add(float64(wait) / float64(time.Millisecond))
+	m.aggMu.Unlock()
 	m.running.Add(1)
 	defer m.running.Add(-1)
 	res, err := m.simulate(ctx, job)
@@ -266,8 +302,13 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 	job.mu.Lock()
 	job.result = payload
 	job.status = StatusDone
+	job.finished = time.Now()
+	run := job.finished.Sub(job.started)
 	job.cond.Broadcast()
 	job.mu.Unlock()
+	m.aggMu.Lock()
+	m.runDur.Add(float64(run) / float64(time.Millisecond))
+	m.aggMu.Unlock()
 	m.completed.Add(1)
 }
 
@@ -349,6 +390,7 @@ func (m *Manager) Cancel(id string) (bool, error) {
 	if live && job.status == StatusQueued {
 		job.status = StatusFailed
 		job.errMsg = context.Canceled.Error()
+		job.finished = time.Now()
 		job.cond.Broadcast()
 		m.failed.Add(1)
 	}
@@ -363,27 +405,34 @@ func (m *Manager) Cancel(id string) (bool, error) {
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns its view. Holding the *Job keeps Wait valid even after the
+// job's handle is evicted from the manager's table.
+func (j *Job) Wait(ctx context.Context) (JobView, error) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	for !j.status.terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	j.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return JobView{}, err
+	}
+	return j.View(), nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
 // returns its view.
 func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
 	job, ok := m.Job(id)
 	if !ok {
 		return JobView{}, fmt.Errorf("simsvc: no job %q", id)
 	}
-	stop := context.AfterFunc(ctx, func() {
-		job.mu.Lock()
-		job.cond.Broadcast()
-		job.mu.Unlock()
-	})
-	defer stop()
-	job.mu.Lock()
-	for !job.status.terminal() && ctx.Err() == nil {
-		job.cond.Wait()
-	}
-	job.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return JobView{}, err
-	}
-	return job.view(), nil
+	return job.Wait(ctx)
 }
 
 // ErrJobEvicted terminates a sample stream whose job was evicted from
@@ -439,28 +488,73 @@ func (m *Manager) StreamSamples(ctx context.Context, id string, fn func(Sample) 
 	}
 }
 
-// Stats is the service's aggregate state (GET /statsz).
+// DurationAgg summarizes a population of wall-clock durations in
+// milliseconds (GET /statsz).
+type DurationAgg struct {
+	N      uint64  `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// durationAgg snapshots a stats.Mean of millisecond samples.
+func durationAgg(m stats.Mean) DurationAgg {
+	return DurationAgg{N: m.N(), MeanMs: m.Mean(), MinMs: m.Min(), MaxMs: m.Max()}
+}
+
+// Stats is the service's aggregate state (GET /statsz). QueueWait
+// covers every job a worker picked up (submit → start); Run covers
+// completed simulations (start → done); cache hits appear in neither.
 type Stats struct {
-	Workers       int        `json:"workers"`
-	SampleEvery   int        `json:"sample_every"`
-	JobsSubmitted int64      `json:"jobs_submitted"`
-	JobsRunning   int64      `json:"jobs_running"`
-	JobsCompleted int64      `json:"jobs_completed"`
-	JobsFailed    int64      `json:"jobs_failed"`
-	Cache         CacheStats `json:"cache"`
+	Workers       int         `json:"workers"`
+	SampleEvery   int         `json:"sample_every"`
+	JobsSubmitted int64       `json:"jobs_submitted"`
+	JobsRunning   int64       `json:"jobs_running"`
+	JobsCompleted int64       `json:"jobs_completed"`
+	JobsFailed    int64       `json:"jobs_failed"`
+	QueueWait     DurationAgg `json:"queue_wait"`
+	Run           DurationAgg `json:"run"`
+	Cache         CacheStats  `json:"cache"`
+	// Campaigns is the campaign subsystem's counters when one is
+	// attached (SetCampaignStats), absent otherwise.
+	Campaigns any `json:"campaigns,omitempty"`
 }
 
 // Stats reports the manager's counters.
 func (m *Manager) Stats() Stats {
-	return Stats{
+	m.aggMu.Lock()
+	queueWait, runDur := m.queueWait, m.runDur
+	m.aggMu.Unlock()
+	s := Stats{
 		Workers:       m.opts.Workers,
 		SampleEvery:   m.opts.SampleEvery,
 		JobsSubmitted: m.submitted.Load(),
 		JobsRunning:   m.running.Load(),
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),
+		QueueWait:     durationAgg(queueWait),
+		Run:           durationAgg(runDur),
 		Cache:         m.cache.stats(),
 	}
+	m.mu.Lock()
+	campaigns := m.campaignStats
+	m.mu.Unlock()
+	if campaigns != nil {
+		s.Campaigns = campaigns()
+	}
+	return s
+}
+
+// Workers reports the worker-pool size, the fan-out a campaign's ETA
+// divides its remaining work across.
+func (m *Manager) Workers() int { return m.opts.Workers }
+
+// SetCampaignStats attaches the campaign subsystem's counters to
+// /statsz. fn must be safe for concurrent use.
+func (m *Manager) SetCampaignStats(fn func() any) {
+	m.mu.Lock()
+	m.campaignStats = fn
+	m.mu.Unlock()
 }
 
 // CancelAll cancels every queued and running job: each stops at its

@@ -148,9 +148,11 @@ type JobSpec struct {
 	PreconditionFrac float64 `json:"precondition_frac,omitempty"`
 }
 
-// validate checks that the spec names things that exist and that its
+// Validate checks that the spec names things that exist and that its
 // knobs are in range, so bad requests fail at submit, not on a worker.
-func (s *JobSpec) validate() error {
+// The campaign subsystem also calls it per expanded cell, so a bad axis
+// value rejects the whole campaign before anything is enqueued.
+func (s *JobSpec) Validate() error {
 	if _, err := core.ProfileByName(s.Profile); err != nil {
 		return err
 	}

@@ -217,7 +217,7 @@ func TestCancel(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if v := job.view(); v.Samples > 0 {
+		if v := job.View(); v.Samples > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -410,7 +410,7 @@ func TestCancelQueuedJobFailsImmediately(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if v := big.view(); v.Status == StatusRunning {
+		if v := big.View(); v.Status == StatusRunning {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -423,7 +423,7 @@ func TestCancelQueuedJobFailsImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := queued.view(); v.Status != StatusQueued {
+	if v := queued.View(); v.Status != StatusQueued {
 		t.Fatalf("second job is %s with one busy worker, want queued", v.Status)
 	}
 
@@ -436,7 +436,7 @@ func TestCancelQueuedJobFailsImmediately(t *testing.T) {
 	if err != nil || !cancelled {
 		t.Fatalf("Cancel(queued) = %v, %v; want true, nil", cancelled, err)
 	}
-	if v := queued.view(); v.Status != StatusFailed {
+	if v := queued.View(); v.Status != StatusFailed {
 		t.Fatalf("cancelled queued job is %s, want failed immediately", v.Status)
 	}
 	select {
@@ -456,7 +456,7 @@ func TestCancelQueuedJobFailsImmediately(t *testing.T) {
 	if _, err := m.Wait(context.Background(), big.ID); err != nil {
 		t.Fatal(err)
 	}
-	if v := queued.view(); v.Status != StatusFailed {
+	if v := queued.View(); v.Status != StatusFailed {
 		t.Fatalf("queued job resurrected to %s after worker drain", v.Status)
 	}
 	if got := m.Stats().JobsFailed; got != 2 {
@@ -727,5 +727,59 @@ func TestShardsCacheIdentity(t *testing.T) {
 	b, _ := json.Marshal(solo)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("sharded result diverges from single-engine:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestJobTimestampsAndAggregates pins the lifecycle timestamps on
+// JobView and the queue-wait / run-duration aggregates in Stats: a
+// simulated job orders submitted <= started <= finished and feeds both
+// aggregates; a cache hit finishes without ever starting and feeds
+// neither.
+func TestJobTimestampsAndAggregates(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+
+	job, err := m.Submit(smallSpec(20000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("job: %+v", view)
+	}
+	if view.SubmittedAt.IsZero() || view.StartedAt.IsZero() || view.FinishedAt.IsZero() {
+		t.Fatalf("missing timestamps: %+v", view)
+	}
+	if view.StartedAt.Before(view.SubmittedAt) || view.FinishedAt.Before(view.StartedAt) {
+		t.Fatalf("timestamps out of order: %+v", view)
+	}
+	if view.QueueWaitMs < 0 || view.RunMs <= 0 {
+		t.Fatalf("derived durations: wait=%v run=%v", view.QueueWaitMs, view.RunMs)
+	}
+	s := m.Stats()
+	if s.QueueWait.N != 1 || s.Run.N != 1 {
+		t.Fatalf("aggregates after one run: %+v", s)
+	}
+	if s.Run.MeanMs <= 0 || s.Run.MinMs > s.Run.MaxMs {
+		t.Fatalf("run aggregate: %+v", s.Run)
+	}
+
+	// The cache hit: finished but never started, aggregates untouched.
+	hit, err := m.Submit(smallSpec(20000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := hit.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hv.Cached || hv.FinishedAt.IsZero() || !hv.StartedAt.IsZero() || hv.RunMs != 0 {
+		t.Fatalf("cache-hit view: %+v", hv)
+	}
+	if s := m.Stats(); s.QueueWait.N != 1 || s.Run.N != 1 {
+		t.Fatalf("cache hit moved the aggregates: %+v", s)
 	}
 }

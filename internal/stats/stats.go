@@ -280,6 +280,98 @@ func (t *Table) String() string {
 	return string(out)
 }
 
+// Grid accumulates a two-axis comparison table: samples keyed by
+// (row, col) label, with rows and columns ordered by first insertion and
+// duplicate (row, col) samples averaged through Mean — the shape of
+// every "metric across axis A × axis B" rendering (the paper's tables,
+// campaign comparison tables). It is the one renderer behind the
+// campaign table endpoint and cmd/repro's client-side tables.
+type Grid struct {
+	Title  string
+	Corner string // header of the row-label column
+	rows   []string
+	cols   []string
+	cells  map[string]map[string]*Mean
+	notes  []string
+}
+
+// NewGrid creates an empty grid.
+func NewGrid(title, corner string) *Grid {
+	return &Grid{Title: title, Corner: corner, cells: map[string]map[string]*Mean{}}
+}
+
+// Add folds one sample into the (row, col) cell, creating the row and
+// column on first sight.
+func (g *Grid) Add(row, col string, v float64) {
+	byCol, ok := g.cells[row]
+	if !ok {
+		byCol = map[string]*Mean{}
+		g.cells[row] = byCol
+		g.rows = append(g.rows, row)
+	}
+	cell, ok := byCol[col]
+	if !ok {
+		cell = &Mean{}
+		byCol[col] = cell
+		found := false
+		for _, c := range g.cols {
+			if c == col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			g.cols = append(g.cols, col)
+		}
+	}
+	cell.Add(v)
+}
+
+// AddNote appends a footnote rendered under the grid.
+func (g *Grid) AddNote(format string, args ...any) {
+	g.notes = append(g.notes, fmt.Sprintf(format, args...))
+}
+
+// MaxN reports the largest sample count in any cell: > 1 means some
+// cell is an average, worth a footnote.
+func (g *Grid) MaxN() uint64 {
+	var n uint64
+	for _, byCol := range g.cells {
+		for _, cell := range byCol {
+			if cell.N() > n {
+				n = cell.N()
+			}
+		}
+	}
+	return n
+}
+
+// Table renders the grid as a Table: one row per row label, one column
+// per column label, empty cells as "-".
+func (g *Grid) Table() *Table {
+	header := append([]string{g.Corner}, g.cols...)
+	t := NewTable(g.Title, header...)
+	for _, row := range g.rows {
+		cells := make([]any, 0, len(g.cols)+1)
+		cells = append(cells, row)
+		for _, col := range g.cols {
+			if cell, ok := g.cells[row][col]; ok {
+				cells = append(cells, cell.Mean())
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	for _, n := range g.notes {
+		t.AddNote("%s", n)
+	}
+	return t
+}
+
+// String renders the grid with aligned columns.
+func (g *Grid) String() string { return g.Table().String() }
+
 // Series is a named (x, y) sequence used for figure-style outputs.
 type Series struct {
 	Name string

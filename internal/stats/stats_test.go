@@ -230,3 +230,36 @@ func TestSummarize(t *testing.T) {
 		t.Fatal("Summarize mutated its input")
 	}
 }
+
+func TestGrid(t *testing.T) {
+	g := NewGrid("t", "dev \\ wl")
+	g.Add("ssd", "seq", 10)
+	g.Add("ssd", "rand", 2)
+	g.Add("hdd", "seq", 8)
+	// Duplicate samples average.
+	g.Add("hdd", "seq", 4)
+	if g.MaxN() != 2 {
+		t.Fatalf("MaxN = %d", g.MaxN())
+	}
+	g.AddNote("a note")
+	out := g.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Rows and columns keep first-insertion order.
+	seqAt, randAt := strings.Index(lines[1], "seq"), strings.Index(lines[1], "rand")
+	if !strings.HasPrefix(lines[1], "dev \\ wl") || seqAt < 0 || randAt < seqAt {
+		t.Fatalf("header: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "ssd") || !strings.HasPrefix(lines[3], "hdd") {
+		t.Fatalf("row order:\n%s", out)
+	}
+	// hdd/rand was never set: rendered as "-". hdd/seq averaged to 6.
+	if !strings.Contains(lines[3], "6.00") || !strings.Contains(lines[3], "-") {
+		t.Fatalf("hdd row: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "a note") {
+		t.Fatalf("note: %q", lines[4])
+	}
+}
