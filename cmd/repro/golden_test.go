@@ -13,18 +13,19 @@ import (
 )
 
 // reportGoldens pins the SHA-256 of the full text report for fixed
-// seeds. They were captured from the pre-indexed-scheduler build (PR 3
-// tree) and must survive any refactor that claims behavioral
+// seeds. They must survive any refactor that claims behavioral
 // equivalence; a PR that deliberately changes simulated behavior or
-// report formatting updates them alongside the change.
+// report formatting updates them alongside the change (last updated
+// when the faultlife experiment joined the catalog).
 var reportGoldens = map[int64]string{
-	1: "a12634dcde61a820ce5b3e1e367c63b9e9f00259f5a0e42e702d618d3b5b50eb",
-	7: "d9ecdd34d0972bd19df170af080bb45a83e961e53d29c693592718a9a8a9e44d",
+	1: "ef4e1d0172bde31c27f29868930bc1d2b13501a0828a61bbc2f7d2cf6fb407ee",
+	7: "19133a5736a05221042721ba3df359ec9881ad2a9452bb4a00b573238acd72db",
 }
 
 // reportBytes regenerates the full text report exactly as `repro -seed
-// N` writes it to its output.
-func reportBytes(t *testing.T, seed int64) []byte {
+// N` writes it to its output, with each experiment's internal fan-out
+// running on `workers` workers.
+func reportBytes(t *testing.T, seed int64, workers int) []byte {
 	t.Helper()
 	selected := experiments.Catalog()
 	specs := make([]runner.Spec[experiments.Result], len(selected))
@@ -33,7 +34,7 @@ func reportBytes(t *testing.T, seed int64) []byte {
 		specs[i] = runner.Spec[experiments.Result]{
 			Name: e.ID,
 			Seed: seed,
-			Run:  func() (experiments.Result, error) { return e.Run(seed, 1) },
+			Run:  func() (experiments.Result, error) { return e.Run(seed, workers) },
 		}
 	}
 	outcomes := runner.RunAll(specs, runner.Options{Workers: runner.DefaultWorkers()})
@@ -48,19 +49,19 @@ func reportBytes(t *testing.T, seed int64) []byte {
 // and 7 and requires the report bytes to hash to the recorded goldens.
 // The full suite takes about a minute per seed, so the test only runs
 // when REPRO_GOLDEN is set (CI sets it; see .github/workflows/ci.yml).
-// It runs the suite at shard counts 1, 2, and 4 against the same pinned
-// hashes: the parallel dataplane's contract is that sharding never
-// changes a report byte.
+// It runs the suite across (shards, workers) pairs against the same
+// pinned hashes: neither the parallel dataplane nor the worker pools may
+// ever change a report byte.
 func TestReportByteIdentity(t *testing.T) {
 	if os.Getenv("REPRO_GOLDEN") == "" {
 		t.Skip("set REPRO_GOLDEN=1 to run the full-report byte-identity check (~2 min)")
 	}
-	for _, shards := range []int{1, 2, 4} {
-		prev := core.SetDefaultShards(shards)
+	for _, c := range []struct{ shards, workers int }{{1, 4}, {2, 1}, {4, 4}} {
+		prev := core.SetDefaultShards(c.shards)
 		for seed, want := range reportGoldens {
-			sum := sha256.Sum256(reportBytes(t, seed))
+			sum := sha256.Sum256(reportBytes(t, seed, c.workers))
 			if got := hex.EncodeToString(sum[:]); got != want {
-				t.Errorf("seed %d shards %d: report sha256 = %s, want %s (the simulation's observable behavior changed)", seed, shards, got, want)
+				t.Errorf("seed %d shards %d workers %d: report sha256 = %s, want %s (the simulation's observable behavior changed)", seed, c.shards, c.workers, got, want)
 			}
 		}
 		core.SetDefaultShards(prev)

@@ -31,19 +31,21 @@ import (
 
 	"ossd/internal/core"
 	"ossd/internal/experiments"
+	"ossd/internal/fault"
 	"ossd/internal/runner"
 	"ossd/internal/simsvc"
 )
 
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		seed    = flag.Int64("seed", 1, "random seed for workloads")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		outPath = flag.String("o", "", "write the report to this file (default stdout)")
-		asJSON  = flag.Bool("json", false, "emit machine-readable JSON results instead of text tables")
-		shards  = flag.Int("shards", 0, "run shardable flash devices across this many engines (same report bytes; 0 = single-engine)")
+		runList   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		seed      = flag.Int64("seed", 1, "random seed for workloads")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		outPath   = flag.String("o", "", "write the report to this file (default stdout)")
+		asJSON    = flag.Bool("json", false, "emit machine-readable JSON results instead of text tables")
+		shards    = flag.Int("shards", 0, "run shardable flash devices across this many engines (same report bytes; 0 = single-engine)")
+		faultPath = flag.String("fault", "", "apply a fault plan (JSON file) to every device the experiments build")
 
 		campaignSpec = flag.String("campaign", "", "drive a remote sweep: path to a campaign spec file (template + axes)")
 		addr         = flag.String("addr", "localhost:8080", "simd address for -campaign")
@@ -62,6 +64,17 @@ func main() {
 	// back to the single engine and the report bytes are identical
 	// either way.
 	core.SetDefaultShards(*shards)
+	// A fault plan travels the same way: as the process default, picked up
+	// by every device built without an explicit plan. Unlike -shards this
+	// changes the report bytes — faults are simulation, not execution.
+	if *faultPath != "" {
+		plan, err := fault.Load(*faultPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		core.SetDefaultFault(plan)
+	}
 
 	cat := experiments.Catalog()
 	if *list {
@@ -166,8 +179,15 @@ func main() {
 	})
 
 	// Timing goes to stderr only: the report must be byte-identical for a
-	// fixed seed regardless of worker count or machine speed.
+	// fixed seed regardless of worker count or machine speed. Failures get
+	// their own stderr line so they are visible even when the report goes
+	// to a file (-o); the report body marks them too, and the process
+	// exits non-zero below.
 	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "%-10s FAILED after %.1fs: %v\n", o.Name, o.Elapsed.Seconds(), o.Err)
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "%-10s finished in %.1fs\n", o.Name, o.Elapsed.Seconds())
 	}
 

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ossd/internal/core"
+	"ossd/internal/fault"
 	"ossd/internal/ftl"
 	"ossd/internal/sim"
 	"ossd/internal/ssd"
@@ -44,6 +45,7 @@ func main() {
 		limit    = flag.Int("limit", 0, "replay at most this many ops (0 = no cap)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		shards   = flag.Int("shards", 0, "run shardable flash profiles across this many engines (same results; 0 = single-engine)")
+		faultIn  = flag.String("fault", "", "apply a fault plan (JSON file) to the device")
 	)
 	flag.Parse()
 
@@ -71,6 +73,13 @@ func main() {
 		opts = append(opts, core.WithShards(*shards))
 	} else if *shards < 0 {
 		fail(fmt.Errorf("invalid -shards %d", *shards))
+	}
+	if *faultIn != "" {
+		plan, err := fault.Load(*faultIn)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, core.WithFault(plan))
 	}
 	switch *scheme {
 	case "":
@@ -158,6 +167,10 @@ func main() {
 	fmt.Printf("mean response read %.3f ms, write %.3f ms (cumulative incl. precondition)\n", after.MeanReadMs, after.MeanWriteMs)
 	fmt.Printf("latency       read p50/p95/p99 %.3f/%.3f/%.3f ms, write p50/p95/p99 %.3f/%.3f/%.3f ms\n",
 		after.P50ReadMs, after.P95ReadMs, after.P99ReadMs, after.P50WriteMs, after.P95WriteMs, after.P99WriteMs)
+	if after.FaultsInjected > 0 || after.RetiredBlocks > 0 {
+		fmt.Printf("faults        %d injected, %d retried; %d blocks retired, %d pages remapped, %d failed ops\n",
+			after.FaultsInjected, after.FaultRetries, after.RetiredBlocks, after.RemappedPages, after.Errors)
+	}
 
 	var raw *ssd.Device
 	if s, ok := dev.(*core.SSD); ok {

@@ -196,3 +196,42 @@ func TestResolveTableAxes(t *testing.T) {
 		t.Fatal("one-axis campaign should need explicit rows/cols")
 	}
 }
+
+// TestExpandFaultAxis pins that fault-plan fields are sweepable: the
+// axis path creates the intermediate fault objects even when the
+// template carries no plan at all, and distinct rates are distinct
+// cache identities.
+func TestExpandFaultAxis(t *testing.T) {
+	spec := Spec{
+		Template: template(100),
+		Axes: []Axis{
+			{Name: "fault.transient.rate", Values: vals("0.0", "0.01", "0.05")},
+		},
+	}
+	cells, err := Expand(spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	wantRate := []float64{0, 0.01, 0.05}
+	keys := map[uint64]bool{}
+	for i, c := range cells {
+		if c.Spec.Fault == nil || c.Spec.Fault.Transient == nil {
+			t.Fatalf("cell %d: axis did not create the fault plan: %+v", i, c.Spec)
+		}
+		if c.Spec.Fault.Transient.Rate != wantRate[i] {
+			t.Errorf("cell %d: rate %v, want %v", i, c.Spec.Fault.Transient.Rate, wantRate[i])
+		}
+		keys[c.Spec.Key()] = true
+	}
+	if len(keys) != 3 {
+		t.Errorf("fault rates collapsed to %d cache identities, want 3", len(keys))
+	}
+	// Out-of-range substituted values still reject the whole campaign.
+	spec.Axes[0].Values = vals("2.0")
+	if _, err := Expand(spec, 4096); err == nil {
+		t.Error("out-of-range fault rate accepted")
+	}
+}

@@ -100,6 +100,17 @@ type Snapshot struct {
 	P50WriteMs float64 `json:"p50_write_ms"`
 	P95WriteMs float64 `json:"p95_write_ms"`
 	P99WriteMs float64 `json:"p99_write_ms"`
+	// FaultsInjected and FaultRetries count injected fault events and the
+	// in-device retries they triggered; RetiredBlocks and RemappedPages
+	// count wear-ceiling retirements and the pages relocated off retired
+	// blocks. All four are zero on devices built without a fault plan.
+	// None of the Snapshot fields use omitempty: every device kind
+	// serializes the same key set, faulted or not, so reports and campaign
+	// cells stay column-stable.
+	FaultsInjected int64 `json:"faults_injected"`
+	FaultRetries   int64 `json:"fault_retries"`
+	RetiredBlocks  int64 `json:"retired_blocks"`
+	RemappedPages  int64 `json:"remapped_pages"`
 }
 
 // fillLatency populates the mean and percentile response-time fields
@@ -403,11 +414,15 @@ func (s *SSD) QueueDepth() int { return s.Raw.QueueDepth() }
 // and OSD wrappers, which front the same model.
 func ssdSnapshot(m ssd.Metrics) Snapshot {
 	s := Snapshot{
-		Completed:    m.Completed,
-		BytesRead:    m.BytesRead,
-		BytesWritten: m.BytesWritten,
-		Frees:        m.Frees,
-		Errors:       m.Errors,
+		Completed:      m.Completed,
+		BytesRead:      m.BytesRead,
+		BytesWritten:   m.BytesWritten,
+		Frees:          m.Frees,
+		Errors:         m.Errors,
+		FaultsInjected: m.FaultsInjected,
+		FaultRetries:   m.FaultRetries,
+		RetiredBlocks:  m.RetiredBlocks,
+		RemappedPages:  m.RemappedPages,
 	}
 	s.fillLatency(m.ReadResp, m.WriteResp)
 	return s

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"ossd/internal/fault"
 	"ossd/internal/flash"
 	"ossd/internal/hdd"
 	"ossd/internal/mems"
@@ -88,6 +89,13 @@ type Profile struct {
 	// heterogeneous media, priority-aware cleaning, non-flash kinds) run
 	// single-engine silently, so a shard count can be applied suite-wide.
 	Shards int
+	// Fault is the device's fault plan (see internal/fault): deterministic
+	// transient errors, element deaths, and wear ceilings, applied to any
+	// media kind. Flash devices inject per-element inside their dispatch
+	// path; other media are wrapped by the generic per-op injector. nil
+	// falls back to the process default (SetDefaultFault); leaving both
+	// unset runs fault-free.
+	Fault *fault.Plan
 }
 
 // defaultShards is the process-wide shard-count fallback for profiles
@@ -103,8 +111,28 @@ func SetDefaultShards(n int) int {
 	return int(defaultShards.Swap(int64(n)))
 }
 
+// defaultFault is the process-wide fault-plan fallback for profiles that
+// do not set one (see SetDefaultFault).
+var defaultFault atomic.Pointer[fault.Plan]
+
+// SetDefaultFault sets the process-wide fault plan applied to every
+// device built without an explicit Profile.Fault — the hook the
+// command-line -fault flags use, since experiments construct their
+// devices internally. nil restores fault-free execution. It returns the
+// previous default.
+func SetDefaultFault(p *fault.Plan) *fault.Plan {
+	return defaultFault.Swap(p)
+}
+
 // NewDevice instantiates the profile's device on a fresh engine.
 func (p *Profile) NewDevice() (Device, error) {
+	plan := p.Fault
+	if plan == nil {
+		plan = defaultFault.Load()
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
 	var (
 		d   Device
 		err error
@@ -117,12 +145,22 @@ func (p *Profile) NewDevice() (Device, error) {
 	case KindRAID:
 		d, err = NewRAID(p.RAID)
 	case KindOSD:
-		d, err = NewOSD(p.SSD)
+		cfg := p.SSD
+		cfg.Fault = plan
+		d, err = NewOSD(cfg)
 	default:
-		d, err = NewSSD(p.SSD)
+		cfg := p.SSD
+		cfg.Fault = plan
+		d, err = NewSSD(cfg)
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Non-flash media get the generic per-op injector; the wrapper embeds
+	// driveConfig, so the MaxPending hook below lands on the outermost
+	// layer (admission control sees the faulted device).
+	if p.Kind == KindHDD || p.Kind == KindMEMS || p.Kind == KindRAID {
+		d = WrapFault(d, plan)
 	}
 	if p.MaxPending > 0 {
 		mp, ok := d.(interface{ setMaxPending(int) })

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"ossd/internal/fault"
 	"ossd/internal/ftl"
 	"ossd/internal/hdd"
 	"ossd/internal/mems"
@@ -195,6 +196,22 @@ func WithShards(n int) Option {
 			return fmt.Errorf("core: shard count %d must be non-negative", n)
 		}
 		p.Shards = n
+		return nil
+	}
+}
+
+// WithFault attaches a fault plan (see internal/fault) to the profile:
+// deterministic transient errors, element deaths, wear ceilings, and
+// power-loss points. It applies to every media kind — flash devices
+// inject per-element inside their dispatch path, other media are wrapped
+// by the generic per-op injector. nil restores the process default
+// (SetDefaultFault).
+func WithFault(plan *fault.Plan) Option {
+	return func(p *Profile) error {
+		if err := plan.Validate(); err != nil {
+			return err
+		}
+		p.Fault = plan
 		return nil
 	}
 }

@@ -43,6 +43,9 @@ func Catalog() []CatalogEntry {
 		{"lifetime", "Extension: endurance under skewed writes (wear-leveling, SLC vs MLC)", func(seed int64, workers int) (Result, error) {
 			return Lifetime(seed, workers)
 		}},
+		{"faultlife", "Extension: accelerated lifetime under wear ceilings (fault plans)", func(seed int64, workers int) (Result, error) {
+			return FaultLife(FaultLifeOptions{Seed: seed, Workers: workers})
+		}},
 	}
 }
 

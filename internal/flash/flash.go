@@ -131,6 +131,11 @@ type Package struct {
 	// a block with writePtr == PagesPerBlock is full.
 	writePtr []int32
 	erases   []int32
+	// retired[b] marks blocks taken out of circulation by the FTL's
+	// wear-ceiling retirement; they keep their erase counts but no
+	// longer participate in wear statistics.
+	retired    []bool
+	retiredCnt int
 
 	reads    int64
 	programs int64
@@ -151,6 +156,7 @@ func NewPackage(geom Geometry, timing Timing, eraseBudget int) (*Package, error)
 		eraseBudget: eraseBudget,
 		writePtr:    make([]int32, geom.BlocksPerPackage),
 		erases:      make([]int32, geom.BlocksPerPackage),
+		retired:     make([]bool, geom.BlocksPerPackage),
 	}, nil
 }
 
@@ -231,6 +237,23 @@ func (p *Package) EraseBlock(block int) (sim.Time, error) {
 	return p.timing.BlockErase, nil
 }
 
+// RetireBlock marks a block retired: the FTL pulled it from circulation
+// at its wear ceiling. The block keeps its erase count and write pointer
+// (its contents are simply abandoned) and drops out of Wear statistics.
+func (p *Package) RetireBlock(block int) error {
+	if err := p.checkBlock(block); err != nil {
+		return err
+	}
+	if !p.retired[block] {
+		p.retired[block] = true
+		p.retiredCnt++
+	}
+	return nil
+}
+
+// Retired reports how many blocks have been retired.
+func (p *Package) Retired() int { return p.retiredCnt }
+
 // WritePointer reports the next programmable page index of a block.
 func (p *Package) WritePointer(block int) int { return int(p.writePtr[block]) }
 
@@ -251,10 +274,17 @@ type WearStats struct {
 	Total    int64
 }
 
-// Wear computes the package wear summary.
+// Wear computes the package wear summary over blocks still in
+// circulation; retired blocks sit at their ceiling and would otherwise
+// pin Max (and mislead wear-aware victim selection) forever.
 func (p *Package) Wear() WearStats {
 	ws := WearStats{Min: int(^uint(0) >> 1)}
-	for _, e := range p.erases {
+	live := 0
+	for b, e := range p.erases {
+		if p.retired[b] {
+			continue
+		}
+		live++
 		v := int(e)
 		if v < ws.Min {
 			ws.Min = v
@@ -264,7 +294,7 @@ func (p *Package) Wear() WearStats {
 		}
 		ws.Total += int64(v)
 	}
-	if len(p.erases) == 0 {
+	if live == 0 {
 		ws.Min = 0
 	}
 	return ws

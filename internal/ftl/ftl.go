@@ -50,6 +50,16 @@ type Config struct {
 	CostBenefit bool
 	// WearDelta is the max tolerated erase-count spread (default 32).
 	WearDelta int
+	// WearCeiling retires a block instead of erasing it once its erase
+	// count reaches this value; 0 disables retirement. A fault plan's
+	// accelerated-lifetime knob: retired blocks leave the spare pool,
+	// so cleaning intensifies and the element eventually hits its
+	// wear-out cliff (ErrNoSpace).
+	WearCeiling int
+	// RemapCost is the extra latency charged per page relocated by a
+	// retirement pass (the remap-table rebuild), plus one fixed unit
+	// for the table update itself.
+	RemapCost sim.Time
 }
 
 // Stats accumulates the cleaning and traffic counters reported in the
@@ -70,6 +80,9 @@ type Stats struct {
 	FreesSeen, FreesApplied int64
 	// Migrations counts forced cold-data migrations (wear-leveling).
 	Migrations int64
+	// RetiredBlocks counts blocks retired at their wear ceiling;
+	// RemappedPages counts the valid pages retirement passes relocated.
+	RetiredBlocks, RemappedPages int64
 }
 
 // Page states tracked per physical page.
@@ -84,6 +97,9 @@ const (
 	blockFree byte = iota
 	blockActive
 	blockUsed
+	// blockRetired blocks hit their wear ceiling: permanently out of
+	// circulation, never erased again, never picked as victims.
+	blockRetired
 )
 
 // Errors returned by the element.
@@ -114,6 +130,9 @@ type Element struct {
 	freeBlocks []int
 	active     int
 	freePages  int
+	// retiredPages counts pages stranded in retired blocks; they shrink
+	// the live physical pool that FreeFraction is measured against.
+	retiredPages int
 
 	// opSeq is a logical clock (one tick per host write) used by
 	// cost-benefit victim selection; blockTouch records each block's last
@@ -194,10 +213,14 @@ func (el *Element) PhysicalPages() int { return el.physPage }
 func (el *Element) PageSize() int { return el.cfg.Geom.PageSize }
 
 // FreeFraction reports free (erased, unwritten) pages as a fraction of
-// physical pages. The device layer compares this against its cleaning
-// watermarks.
+// the live physical pages (retired blocks no longer count). The device
+// layer compares this against its cleaning watermarks.
 func (el *Element) FreeFraction() float64 {
-	return float64(el.freePages) / float64(el.physPage)
+	live := el.physPage - el.retiredPages
+	if live <= 0 {
+		return 0
+	}
+	return float64(el.freePages) / float64(live)
 }
 
 // FreePages reports the count of erased, writable pages.
@@ -428,11 +451,14 @@ func (el *Element) relocate(ppn int32) (sim.Time, error) {
 	return rd + wd, nil
 }
 
-// reclaim moves every valid page out of block b, erases it, and returns
-// it to the free pool.
+// reclaim moves every valid page out of block b, then either erases it
+// back into the free pool or — when a wear ceiling is configured and the
+// block has reached it — retires it instead, permanently shrinking the
+// spare area.
 func (el *Element) reclaim(b int) (sim.Time, error) {
 	var total sim.Time
 	base := int32(b * el.ppb)
+	moved := 0
 	for p := int32(0); p < int32(el.ppb); p++ {
 		if el.pageState[base+p] == pageValid {
 			d, err := el.relocate(base + p)
@@ -440,10 +466,14 @@ func (el *Element) reclaim(b int) (sim.Time, error) {
 			if err != nil {
 				return total, err
 			}
+			moved++
 		}
 	}
 	if el.validCnt[b] != 0 {
 		panic(fmt.Sprintf("ftl: block %d still has %d valid pages after relocation", b, el.validCnt[b]))
+	}
+	if el.cfg.WearCeiling > 0 && el.pkg.EraseCount(b) >= el.cfg.WearCeiling {
+		return total + el.retire(b, moved), nil
 	}
 	reclaimed := el.pkg.WritePointer(b) // programmed pages become free again
 	d, err := el.pkg.EraseBlock(b)
@@ -461,6 +491,26 @@ func (el *Element) reclaim(b int) (sim.Time, error) {
 	el.freeBlocks = append(el.freeBlocks, b)
 	el.stats.GCErases++
 	return total, nil
+}
+
+// retire pulls block b out of circulation at its wear ceiling: the block
+// keeps its (all-invalid) contents, its pages leave the live pool, and
+// the remap-table rebuild charges RemapCost per relocated page plus one
+// fixed unit. moved is the number of valid pages the preceding
+// relocation loop copied out.
+func (el *Element) retire(b int, moved int) sim.Time {
+	// Unprogrammed pages in the retired block were counted free; they
+	// are stranded now. (Cleaning victims are always full, so this is
+	// zero in practice.)
+	el.freePages -= el.ppb - el.pkg.WritePointer(b)
+	el.retiredPages += el.ppb
+	el.blkState[b] = blockRetired
+	el.stats.RetiredBlocks++
+	el.stats.RemappedPages += int64(moved)
+	_ = el.pkg.RetireBlock(b)
+	// The caller (CleanOnce or a migration pass) folds this duration
+	// into CleanTime along with the relocation traffic.
+	return el.cfg.RemapCost * sim.Time(moved+1)
 }
 
 // CleanOnce performs one cleaning pass: pick a victim, relocate its valid
@@ -607,7 +657,9 @@ func (el *Element) CheckInvariants() error {
 					return fmt.Errorf("block %d page %d invalid but beyond write pointer %d", b, p, wp)
 				}
 			case pageFree:
-				free++
+				if el.blkState[b] != blockRetired {
+					free++
+				}
 				if p < wp {
 					return fmt.Errorf("block %d page %d free but below write pointer %d", b, p, wp)
 				}
@@ -618,6 +670,9 @@ func (el *Element) CheckInvariants() error {
 		}
 		if el.blkState[b] == blockFree && wp != 0 {
 			return fmt.Errorf("free block %d has write pointer %d", b, wp)
+		}
+		if el.blkState[b] == blockRetired && valid != 0 {
+			return fmt.Errorf("retired block %d still holds %d valid pages", b, valid)
 		}
 	}
 	if free != el.freePages {

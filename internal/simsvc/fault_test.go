@@ -1,0 +1,106 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"ossd/internal/fault"
+)
+
+// Fault plans are part of the cache identity: identical faulted specs
+// share one entry; a faulted and a fault-free run of the same workload
+// never do.
+func TestFaultJobCacheIdentity(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := smallSpec(20_000, 7)
+	spec.Fault = &fault.Plan{
+		Seed:      3,
+		Transient: &fault.Transient{Rate: 0.01, Burst: 4, RetryUs: 400},
+	}
+	first := postJob(t, srv, spec)
+	firstDone := waitJob(t, srv, first.ID)
+	if firstDone.Status != StatusDone || firstDone.Cached {
+		t.Fatalf("first faulted run: %+v", firstDone)
+	}
+	var res Result
+	if err := json.Unmarshal(firstDone.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.FaultsInjected == 0 || res.Snapshot.FaultRetries == 0 {
+		t.Fatalf("faulted run injected nothing: %+v", res.Snapshot)
+	}
+
+	second := postJob(t, srv, spec)
+	if !second.Cached {
+		t.Fatalf("identical faulted spec missed the cache: %+v", second)
+	}
+	if !bytes.Equal(firstDone.Result, second.Result) {
+		t.Fatal("cached faulted payload differs")
+	}
+
+	// The same workload without the plan is a different content address.
+	clean := postJob(t, srv, smallSpec(20_000, 7))
+	if clean.Cached {
+		t.Fatal("fault-free spec hit the faulted cache entry")
+	}
+	cleanDone := waitJob(t, srv, clean.ID)
+	if cleanDone.Status != StatusDone {
+		t.Fatalf("clean run: %+v", cleanDone)
+	}
+	if err := json.Unmarshal(cleanDone.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.FaultsInjected != 0 {
+		t.Fatalf("clean run reports injections: %+v", res.Snapshot)
+	}
+}
+
+// A power-loss point truncates the measured run at its op count and the
+// recovery scan's reads land on the final snapshot.
+func TestPowerLossTruncatesAndRecovers(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := smallSpec(20_000, 5)
+	spec.Fault = &fault.Plan{
+		PowerLoss: &fault.PowerLoss{AtOps: 4000, ReplayFrac: 0.5},
+	}
+	view := waitJob(t, srv, postJob(t, srv, spec).ID)
+	if view.Status != StatusDone {
+		t.Fatalf("power-loss run: %+v", view)
+	}
+	var res Result
+	if err := json.Unmarshal(view.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload.Ops != 4000 {
+		t.Fatalf("workload drove %d ops past the power-loss point, want 4000", res.Workload.Ops)
+	}
+	if res.Snapshot.BytesRead <= res.Workload.ReadBytes {
+		t.Fatalf("recovery scan invisible: device read %d, workload read %d",
+			res.Snapshot.BytesRead, res.Workload.ReadBytes)
+	}
+}
+
+// Bad plans are rejected at submit, not on a worker.
+func TestFaultSpecValidation(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	spec := smallSpec(1000, 1)
+	spec.Fault = &fault.Plan{Transient: &fault.Transient{Rate: 1.5}}
+	if _, err := m.Submit(spec); err == nil {
+		t.Fatal("out-of-range transient rate accepted")
+	}
+	spec.Fault = &fault.Plan{PowerLoss: &fault.PowerLoss{AtOps: -1}}
+	if _, err := m.Submit(spec); err == nil {
+		t.Fatal("negative power-loss point accepted")
+	}
+}

@@ -323,6 +323,9 @@ func (m *Manager) simulate(ctx context.Context, job *Job) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if spec.Fault != nil {
+		opts = append(opts, core.WithFault(spec.Fault))
+	}
 	dev, err := core.Open(spec.Profile, opts...)
 	if err != nil {
 		return Result{}, err
@@ -342,6 +345,14 @@ func (m *Manager) simulate(ctx context.Context, job *Job) (Result, error) {
 	if spec.OpLimit > 0 {
 		stream = trace.Limit(stream, spec.OpLimit)
 	}
+	// A power-loss point truncates the measured run at its op count: the
+	// stream simply ends there (the in-flight tail drains, the rest of
+	// the workload is never issued), then recovery replays below.
+	if pl := spec.Fault.PowerLossPoint(); pl != nil {
+		if spec.OpLimit == 0 || int64(spec.OpLimit) > pl.AtOps {
+			stream = trace.Limit(stream, int(pl.AtOps))
+		}
+	}
 	// Shift trace timestamps past the preconditioning window and tally
 	// the workload summary as ops flow by.
 	var wl trace.Stats
@@ -351,6 +362,14 @@ func (m *Manager) simulate(ctx context.Context, job *Job) (Result, error) {
 	before := dev.Metrics()
 	if _, err := DriveSampled(ctx, dev, stream, m.opts.SampleEvery, job.addSample); err != nil {
 		return Result{}, err
+	}
+	// After a power loss the device comes back and replays recovery: a
+	// sequential scan whose reads land on the same metrics, so the
+	// snapshot below reflects the truncated run plus the remount cost.
+	if pl := spec.Fault.PowerLossPoint(); pl != nil {
+		if err := core.ReplayRecovery(dev, pl.ReplayFrac); err != nil {
+			return Result{}, err
+		}
 	}
 	elapsed := (dev.Engine().Now() - start).Seconds()
 	after := dev.Metrics()

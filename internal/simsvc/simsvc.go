@@ -23,6 +23,7 @@ import (
 	"hash/fnv"
 
 	"ossd/internal/core"
+	"ossd/internal/fault"
 	"ossd/internal/ftl"
 	"ossd/internal/sched"
 	"ossd/internal/trace"
@@ -146,6 +147,13 @@ type JobSpec struct {
 	// PreconditionFrac fills this fraction of the device before the
 	// measured run (0 = start on a fresh device).
 	PreconditionFrac float64 `json:"precondition_frac,omitempty"`
+	// Fault attaches a fault plan (see internal/fault) to the device:
+	// deterministic transient errors, element deaths, wear ceilings, and
+	// power-loss points. A power-loss point truncates the measured run at
+	// its op count and replays recovery before the snapshot is taken.
+	// The plan is part of the cache identity: faulted and fault-free runs
+	// of the same workload never share a result.
+	Fault *fault.Plan `json:"fault,omitempty"`
 }
 
 // Validate checks that the spec names things that exist and that its
@@ -174,6 +182,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.PreconditionFrac < 0 || s.PreconditionFrac > 1 {
 		return fmt.Errorf("simsvc: precondition fraction %v out of [0, 1]", s.PreconditionFrac)
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ossd/internal/core"
+	"ossd/internal/experiments"
 	"ossd/internal/workload"
 )
 
@@ -664,8 +665,8 @@ func TestDiscoveryEndpoints(t *testing.T) {
 
 	var exps []experimentInfo
 	getJSON("/experiments", &exps)
-	if len(exps) != 10 {
-		t.Fatalf("experiments: got %d, want 10", len(exps))
+	if len(exps) != len(experiments.Catalog()) {
+		t.Fatalf("experiments: got %d, catalog has %d", len(exps), len(experiments.Catalog()))
 	}
 
 	var health map[string]string

@@ -11,6 +11,7 @@ package ssd
 import (
 	"fmt"
 
+	"ossd/internal/fault"
 	"ossd/internal/flash"
 	"ossd/internal/ftl"
 	"ossd/internal/sched"
@@ -105,6 +106,11 @@ type Config struct {
 	CostBenefit bool
 	// WearDelta is the tolerated erase-count spread (0 = FTL default).
 	WearDelta int
+
+	// Fault attaches a deterministic failure-injection plan: transient
+	// per-op errors and element deaths inject at dispatch, and the
+	// plan's wear ceiling and remap cost flow into every element's FTL.
+	Fault *fault.Plan
 }
 
 // Validate checks the configuration and fills derived defaults.
@@ -141,6 +147,9 @@ func (c *Config) Validate() error {
 	if c.GCCritical > c.GCLow {
 		return fmt.Errorf("ssd: critical watermark %v above low %v", c.GCCritical, c.GCLow)
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -160,6 +169,10 @@ func (c *Config) ftlConfig(e int) ftl.Config {
 	if c.MLCElements > 0 && e >= c.Elements-c.MLCElements {
 		cfg.Timing = flash.TimingFor(flash.MLC)
 		cfg.EraseBudget = flash.EraseBudgetFor(flash.MLC)
+	}
+	if f := c.Fault; f != nil && f.WearCeiling > 0 {
+		cfg.WearCeiling = f.WearCeiling
+		cfg.RemapCost = f.RemapCost()
 	}
 	return cfg
 }

@@ -69,6 +69,12 @@ type Metrics struct {
 	// BufferedWrites counts writes absorbed by the write buffer;
 	// BufferBypass counts writes that found it full.
 	BufferedWrites, BufferBypass int64
+	// FaultsInjected counts faults injected by the device's fault plan;
+	// FaultRetries counts those recovered by an in-device retry.
+	// RetiredBlocks and RemappedPages aggregate the FTLs' wear-ceiling
+	// retirement activity. All four are computed fresh by Metrics().
+	FaultsInjected, FaultRetries int64
+	RetiredBlocks, RemappedPages int64
 }
 
 // GCStats aggregates FTL cleaning counters across the gang.
@@ -78,6 +84,7 @@ type GCStats struct {
 	Cleans, GCErases, Migrations  int64
 	CleanTime                     sim.Time
 	FreesSeen, FreesApplied       int64
+	RetiredBlocks, RemappedPages  int64
 }
 
 // Device is the simulated SSD.
@@ -134,6 +141,10 @@ type Device struct {
 	// sub-devices on private engines, driven by DriveStream. See gang.go.
 	shard *gang
 
+	// flt, when non-nil, injects the config's fault plan at dispatch.
+	// Shard sub-devices alias the gang's state; see faultState.
+	flt *faultState
+
 	met Metrics
 }
 
@@ -159,7 +170,14 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 		}
 		elems = append(elems, el)
 	}
-	return newWithBackends(eng, cfg, elems, 0, cfg.Elements)
+	d, err := newWithBackends(eng, cfg, elems, 0, cfg.Elements)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Fault.Injects() {
+		d.flt = newFaultState(cfg.Fault, cfg.Elements)
+	}
+	return d, nil
 }
 
 // newWithBackends builds a device over existing FTL backends, cleaning
@@ -204,8 +222,25 @@ func (d *Device) LogicalBytes() int64 { return d.logicalBytes }
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
-// Metrics returns a snapshot of the accumulated metrics.
-func (d *Device) Metrics() Metrics { return d.met }
+// Metrics returns a snapshot of the accumulated metrics. The fault and
+// retirement counters are computed fresh from the fault state and the
+// per-element FTL stats, which a sharded gang shares with its
+// sub-devices, so they need no folding at window barriers.
+func (d *Device) Metrics() Metrics {
+	m := d.met
+	if d.flt != nil {
+		for e := range d.flt.seq {
+			m.FaultsInjected += d.flt.injected[e]
+			m.FaultRetries += d.flt.retried[e]
+		}
+	}
+	for _, el := range d.elems {
+		s := el.Stats()
+		m.RetiredBlocks += s.RetiredBlocks
+		m.RemappedPages += s.RemappedPages
+	}
+	return m
+}
 
 // QueueDepth reports the number of requests waiting for dispatch.
 func (d *Device) QueueDepth() int { return d.q.Len() }
@@ -239,6 +274,8 @@ func (d *Device) GCStats() GCStats {
 		g.CleanTime += s.CleanTime
 		g.FreesSeen += s.FreesSeen
 		g.FreesApplied += s.FreesApplied
+		g.RetiredBlocks += s.RetiredBlocks
+		g.RemappedPages += s.RemappedPages
 	}
 	return g
 }
@@ -433,7 +470,7 @@ func (d *Device) ClosedLoop(depth int, gen func(i int) (trace.Op, bool)) error {
 func (d *Device) mandatoryClean(now sim.Time) bool {
 	progress := false
 	for e := d.elemLo; e < d.elemHi; e++ {
-		if d.q.Busy(e) > now {
+		if d.q.Busy(e) > now || d.faultDead(e) {
 			continue
 		}
 		if d.mustClean(e) && d.startClean(e) {
@@ -449,7 +486,7 @@ func (d *Device) mandatoryClean(now sim.Time) bool {
 func (d *Device) opportunisticClean(now sim.Time) bool {
 	progress := false
 	for e := d.elemLo; e < d.elemHi; e++ {
-		if d.q.Busy(e) > now {
+		if d.q.Busy(e) > now || d.faultDead(e) {
 			continue
 		}
 		if d.wantClean(e) && d.startClean(e) {

@@ -140,6 +140,11 @@ func (d *Device) EnableSharding(n int) error {
 			return err
 		}
 		sd.recording = true
+		// Fault clocks are shared, not copied: element e's sequence
+		// numbers advance only on its owning shard, in that shard's
+		// dispatch order, which is the single-engine order restricted to
+		// the shard — so injections are shard-invariant.
+		sd.flt = d.flt
 		g.subs = append(g.subs, sd)
 	}
 	d.shard = g

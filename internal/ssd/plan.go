@@ -122,6 +122,12 @@ func (d *Device) exec(req *Request) []sim.Time {
 		d.applyFree(op)
 		return durs
 	}
+	// Fault injection: a dead element fails the request outright (zero
+	// durations, so it completes immediately as an error); transient
+	// faults add their retry cost to the element durations below.
+	if d.flt != nil && d.injectFaults(req, durs) {
+		return durs
+	}
 	fail := func(err error) { req.Err = err }
 	switch d.cfg.Layout {
 	case FullStripe:
