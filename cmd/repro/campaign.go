@@ -75,8 +75,15 @@ func runCampaign(out io.Writer, f campaignFlags) (failed bool, err error) {
 		if err := getJSON(base+"/campaigns/"+prog.ID, &prog); err != nil {
 			return false, err
 		}
-		fmt.Fprintf(os.Stderr, "%s: %d/%d settled (%d cached, %d failed, %d running) eta %.0fs\n",
-			prog.ID, prog.Done+prog.Failed, prog.Total, prog.CacheHits, prog.Failed, prog.Running, prog.ETASeconds)
+		shed := ""
+		if prog.Shed > 0 {
+			shed = fmt.Sprintf(", %d shed", prog.Shed)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d/%d settled (%d cached, %d failed, %d running%s) eta %.0fs\n",
+			prog.ID, prog.Done+prog.Failed, prog.Total, prog.CacheHits, prog.Failed, prog.Running, shed, prog.ETASeconds)
+	}
+	if prog.Shed > 0 {
+		fmt.Fprintf(os.Stderr, "%s: server shed %d submit attempts (all retried)\n", prog.ID, prog.Shed)
 	}
 
 	sresp, err := http.Get(base + "/campaigns/" + prog.ID + "/stream")

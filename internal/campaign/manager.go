@@ -89,6 +89,10 @@ type Campaign struct {
 	cancelled bool
 	evicted   bool
 	finished  time.Time
+	// shed counts submit attempts the job manager rejected in shed
+	// mode; the feeder retried them, so cells still complete, but the
+	// count is the campaign's view of fleet overload.
+	shed int
 	// runDur accumulates observed wall-clock run durations of the
 	// campaign's simulated (non-cached) cells, feeding the ETA.
 	runDur stats.Mean
@@ -127,6 +131,7 @@ type Progress struct {
 	Done           int      `json:"done"`
 	Failed         int      `json:"failed"`
 	CacheHits      int      `json:"cache_hits"`
+	Shed           int      `json:"shed,omitempty"`
 	ElapsedSeconds float64  `json:"elapsed_seconds"`
 	ETASeconds     float64  `json:"eta_seconds,omitempty"`
 }
@@ -149,6 +154,7 @@ type Manager struct {
 	cellsDone   atomic.Int64
 	cellsFailed atomic.Int64
 	cellsCached atomic.Int64
+	cellsShed   atomic.Int64
 }
 
 // New builds a Manager over the job manager and registers its counters
@@ -252,9 +258,19 @@ func (m *Manager) run(c *Campaign) {
 		}
 		sem <- struct{}{}
 		job, err := m.jobs.Submit(cell.Spec)
-		for err != nil && errors.Is(err, runner.ErrPoolSaturated) && !c.isCancelled() {
+		for err != nil && (errors.Is(err, runner.ErrPoolSaturated) || errors.Is(err, simsvc.ErrShed)) && !c.isCancelled() {
 			// The shared backlog is full (other clients own the slots):
 			// back off briefly and retry rather than failing the cell.
+			// In shed mode the rejection is explicit (429); the feeder
+			// is an internal batch client, so it counts every shed —
+			// surfaced in progress and /statsz so operators see the
+			// pressure — and keeps backing off.
+			if errors.Is(err, simsvc.ErrShed) {
+				c.mu.Lock()
+				c.shed++
+				c.mu.Unlock()
+				m.cellsShed.Add(1)
+			}
 			time.Sleep(5 * time.Millisecond)
 			job, err = m.jobs.Submit(cell.Spec)
 		}
@@ -378,6 +394,7 @@ func (m *Manager) Progress(c *Campaign) Progress {
 		Done:      c.done,
 		Failed:    c.failed,
 		CacheHits: c.cacheHits,
+		Shed:      c.shed,
 	}
 	for _, cell := range c.cells {
 		if cell.settled {
@@ -547,6 +564,9 @@ type Stats struct {
 	CellsDone   int64 `json:"cells_done"`
 	CellsFailed int64 `json:"cells_failed"`
 	CellsCached int64 `json:"cells_cached"`
+	// CellsShed counts feeder submit attempts rejected by shed mode
+	// (each was retried; cells still complete).
+	CellsShed int64 `json:"cells_shed"`
 }
 
 // Stats reports the manager's counters.
@@ -563,5 +583,6 @@ func (m *Manager) Stats() Stats {
 		CellsDone:   m.cellsDone.Load(),
 		CellsFailed: m.cellsFailed.Load(),
 		CellsCached: m.cellsCached.Load(),
+		CellsShed:   m.cellsShed.Load(),
 	}
 }

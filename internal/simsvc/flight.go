@@ -1,0 +1,110 @@
+package simsvc
+
+import (
+	"time"
+)
+
+// flight is one in-progress computation of a cache identity. The first
+// job to miss the cache for a key becomes the flight's primary and runs
+// the simulation; every identical spec submitted while it is in flight
+// — a concurrent POST from another client, an overlapping campaign
+// cell, a peer's GET /cache/{key}?wait=1 landing as a SubmitLocal —
+// attaches as a waiter instead of burning a worker. When the primary
+// resolves, every waiter receives the byte-identical payload and counts
+// as a cache hit: within one node and across the fleet, N concurrent
+// identical requests cost exactly one simulation.
+type flight struct {
+	waiters []*Job
+}
+
+// joinOrStartFlight is the submit-time cache/single-flight gate, run
+// under flightMu so the three outcomes are atomic against resolution:
+//
+//   - the cache has the identity → complete the job now ("local" hit);
+//   - a flight is computing it → attach as a waiter ("coalesced");
+//   - neither → register a new flight; the caller runs the primary.
+//
+// It reports whether the job became the primary (the caller must
+// guarantee resolveFlight runs on every terminal path).
+func (m *Manager) joinOrStartFlight(job *Job) (primary, settled bool) {
+	m.flightMu.Lock()
+	if payload, ok := m.cache.get(job.key, job.identity); ok {
+		m.flightMu.Unlock()
+		m.completeCached(job, payload, "local")
+		return false, true
+	}
+	if f, ok := m.flights[job.key]; ok {
+		f.waiters = append(f.waiters, job)
+		m.flightMu.Unlock()
+		m.coalesced.Add(1)
+		return false, false
+	}
+	m.flights[job.key] = &flight{}
+	m.flightMu.Unlock()
+	return true, false
+}
+
+// resolveFlight settles a key's flight: the payload (nil on failure) is
+// delivered to every waiter. The caller has already stored a successful
+// payload in the cache, so the unregister-then-deliver order closes the
+// race with joinOrStartFlight — a submit that misses the flight map
+// afterwards finds the cache populated instead.
+func (m *Manager) resolveFlight(key uint64, payload []byte, err error) {
+	m.flightMu.Lock()
+	f, ok := m.flights[key]
+	if ok {
+		delete(m.flights, key)
+	}
+	m.flightMu.Unlock()
+	if !ok {
+		return
+	}
+	for _, w := range f.waiters {
+		if payload != nil {
+			m.completeCached(w, payload, "coalesced")
+		} else {
+			m.failWaiter(w, err)
+		}
+	}
+}
+
+// completeCached finishes a job with a memoized payload — a local cache
+// hit at submit, a coalesced single-flight waiter, or a peer fetch.
+// Cached completions are terminal without ever simulating, so they
+// never feed the run-duration aggregate. Jobs already terminal (a
+// cancelled waiter) are left alone.
+func (m *Manager) completeCached(job *Job, payload []byte, source string) {
+	job.mu.Lock()
+	if job.status.terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.cached = true
+	job.cacheSource = source
+	job.result = payload
+	job.status = StatusDone
+	job.finished = time.Now()
+	job.cond.Broadcast()
+	job.mu.Unlock()
+	m.completed.Add(1)
+}
+
+// failWaiter fails a coalesced waiter with its primary's error (no-op
+// if the waiter is already terminal, e.g. individually cancelled).
+func (m *Manager) failWaiter(job *Job, err error) {
+	job.mu.Lock()
+	if job.status.terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.status = StatusFailed
+	if err != nil {
+		job.errMsg = err.Error()
+	} else {
+		job.errMsg = "simsvc: single-flight primary failed"
+	}
+	job.finished = time.Now()
+	job.cond.Broadcast()
+	job.mu.Unlock()
+	m.failed.Add(1)
+}

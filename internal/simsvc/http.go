@@ -1,11 +1,13 @@
 package simsvc
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"io"
 	"net/http"
+	"strconv"
 
 	"ossd/internal/core"
 	"ossd/internal/experiments"
@@ -48,14 +50,13 @@ type experimentRequest struct {
 	Workers int    `json:"workers,omitempty"`
 }
 
-// expKey is the experiment result cache's content address. Workers is
-// deliberately excluded: experiment results are byte-identical for a
-// fixed seed regardless of worker count (the determinism tests pin
-// this), so it is not part of the result's identity.
-func expKey(name string, seed int64) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "experiment|%s|%d", name, seed)
-	return h.Sum64()
+// expIdentity is the experiment result cache's identity bytes (hash it
+// with identityKey for the cache key). Workers is deliberately
+// excluded: experiment results are byte-identical for a fixed seed
+// regardless of worker count (the determinism tests pin this), so it
+// is not part of the result's identity.
+func expIdentity(name string, seed int64) []byte {
+	return fmt.Appendf(nil, "experiment|%s|%d", name, seed)
 }
 
 // Handler returns the service's HTTP API:
@@ -68,8 +69,10 @@ func expKey(name string, seed int64) uint64 {
 //	GET    /workloads           registered workload generators
 //	GET    /experiments         the paper's experiment catalog
 //	POST   /experiments/{name}  run one experiment (body: {seed, workers})
+//	GET    /cache/{key}         internal fleet fetch (+ ?wait=1 coalesce/recompute)
+//	PUT    /cache/{key}         internal fleet push from a non-owner
 //	GET    /healthz             liveness
-//	GET    /statsz              job/cache counters
+//	GET    /statsz              job/cache/tier counters
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -84,7 +87,12 @@ func (m *Manager) Handler() http.Handler {
 		job, err := m.Submit(spec)
 		if err != nil {
 			status := http.StatusBadRequest
-			if errors.Is(err, runner.ErrPoolSaturated) || errors.Is(err, runner.ErrPoolClosed) {
+			switch {
+			case errors.Is(err, ErrShed):
+				// Shed mode: an explicit "the fleet is full, go away"
+				// beats queueing the caller behind the overload.
+				status = http.StatusTooManyRequests
+			case errors.Is(err, runner.ErrPoolSaturated), errors.Is(err, runner.ErrPoolClosed):
 				status = http.StatusServiceUnavailable
 			}
 			writeError(w, status, err)
@@ -189,8 +197,9 @@ func (m *Manager) Handler() http.Handler {
 
 		// Experiment runs are deterministic from (name, seed), so they
 		// share the content-addressed cache with jobs.
-		key := expKey(entry.ID, seed)
-		if payload, ok := m.cache.get(key); ok {
+		identity := expIdentity(entry.ID, seed)
+		key := identityKey(identity)
+		if payload, ok := m.cache.get(key, identity); ok {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(payload)
 			return
@@ -222,9 +231,118 @@ func (m *Manager) Handler() http.Handler {
 			return
 		}
 		payload = append(payload, '\n')
-		m.cache.put(key, payload)
+		m.cache.put(key, identity, payload)
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(payload)
+	})
+
+	// GET /cache/{key} is the fleet's internal fetch path: a peer that
+	// missed locally on a key this node owns asks here. The body is the
+	// entry's identity bytes (the canonical spec JSON), verified against
+	// both the path key and the stored entry — a colliding key answers
+	// 409, never another spec's payload. With ?wait=1 a miss does not
+	// 404-loop: the request coalesces onto this node's in-flight
+	// computation of the same identity, or — if the entry was evicted or
+	// never computed — recomputes it locally, so the requester always
+	// gets the byte-identical payload one simulation produces.
+	mux.HandleFunc("GET /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, err := strconv.ParseUint(r.PathValue("key"), 16, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("simsvc: bad cache key: %w", err))
+			return
+		}
+		identity, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil || len(identity) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("simsvc: cache fetch needs identity bytes in the body"))
+			return
+		}
+		if identityKey(identity) != key {
+			writeError(w, http.StatusConflict, errors.New("simsvc: identity does not hash to the requested key"))
+			return
+		}
+		if payload, ok := m.cache.get(key, identity); ok {
+			if m.tier != nil {
+				m.tier.peerServes.Add(1)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(payload)
+			return
+		}
+		if r.URL.Query().Get("wait") == "" {
+			writeError(w, http.StatusNotFound, errors.New("simsvc: no cache entry"))
+			return
+		}
+		var spec JobSpec
+		dec := json.NewDecoder(bytes.NewReader(identity))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			// Not a job-spec identity (e.g. an experiment entry):
+			// nothing to recompute from.
+			writeError(w, http.StatusNotFound, errors.New("simsvc: no cache entry and identity is not a job spec"))
+			return
+		}
+		// SubmitLocal rides the normal single-flight path: an in-flight
+		// identical spec absorbs this request as a waiter; otherwise the
+		// owner recomputes. Shed/saturation answer 429/503 and the
+		// requester computes locally.
+		job, err := m.SubmitLocal(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrShed):
+				status = http.StatusTooManyRequests
+			case errors.Is(err, runner.ErrPoolSaturated), errors.Is(err, runner.ErrPoolClosed):
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		view, err := job.Wait(r.Context())
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if view.Status != StatusDone {
+			// The recompute failed (cancelled at shutdown, bad device
+			// state): an alive 404 lets the requester run — and observe
+			// the failure — itself, without tripping its breaker.
+			writeError(w, http.StatusNotFound, fmt.Errorf("simsvc: recompute failed: %s", view.Error))
+			return
+		}
+		if m.tier != nil {
+			m.tier.peerServes.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(view.Result))
+	})
+
+	// PUT /cache/{key} accepts an entry from a non-owner that had to
+	// compute locally (this node was shedding or briefly unreachable),
+	// so the tier converges back to owner-holds-the-entry.
+	mux.HandleFunc("PUT /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, err := strconv.ParseUint(r.PathValue("key"), 16, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("simsvc: bad cache key: %w", err))
+			return
+		}
+		var env pushEnvelope
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&env); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("simsvc: bad cache push: %w", err))
+			return
+		}
+		if len(env.Identity) == 0 || len(env.Payload) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("simsvc: cache push needs identity and payload"))
+			return
+		}
+		if identityKey(env.Identity) != key {
+			writeError(w, http.StatusConflict, errors.New("simsvc: identity does not hash to the pushed key"))
+			return
+		}
+		m.cache.put(key, env.Identity, env.Payload)
+		if m.tier != nil {
+			m.tier.peerStores.Add(1)
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,17 @@ type Options struct {
 	// each submit evicts the oldest terminal job (and its telemetry).
 	// Results live on in the cache; only the job-ID handle expires.
 	RetainJobs int
+	// Shed switches full-backlog submits from ErrPoolSaturated (HTTP
+	// 503, clients typically retry) to a counted ErrShed (HTTP 429):
+	// under overload the service sheds explicitly instead of letting
+	// callers trade latency for a slot.
+	Shed bool
+	// Tier, when set, joins this manager to a fleet-wide cache tier:
+	// cache keys are consistent-hashed across the configured peers, a
+	// miss on a key another node owns is fetched (and coalesced) from
+	// that owner, and payloads stay byte-identical no matter which node
+	// answers. Nil runs the cache single-process as before.
+	Tier *TierConfig
 }
 
 // Job is one submitted simulation and everything observable about it.
@@ -38,15 +49,27 @@ type Options struct {
 type Job struct {
 	ID   string
 	Spec JobSpec
+	// key and identity are the spec's content address, computed once at
+	// submit: identity is the canonical spec JSON, key its FNV-1a hash.
+	key      uint64
+	identity []byte
+	// noPeer pins the job to local compute (SubmitLocal): set for jobs
+	// the /cache handler recomputes on an owner, so a misconfigured
+	// ring can never forward a request in a loop.
+	noPeer bool
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	status  Status
-	cached  bool
-	errMsg  string
-	result  []byte // marshaled Result, set when status == StatusDone
-	samples []Sample
-	cancel  context.CancelFunc
+	mu     sync.Mutex
+	cond   *sync.Cond
+	status Status
+	cached bool
+	// cacheSource says where a cached payload came from: "local" (this
+	// node's cache at submit), "coalesced" (a single-flight waiter), or
+	// "peer" (fetched from the key's owner).
+	cacheSource string
+	errMsg      string
+	result      []byte // marshaled Result, set when status == StatusDone
+	samples     []Sample
+	cancel      context.CancelFunc
 	// Lifecycle timestamps (wall clock): submitted is set at Submit,
 	// started when a worker picks the job up (zero for cache hits, which
 	// never run), finished at the terminal transition.
@@ -69,6 +92,7 @@ type JobView struct {
 	ID          string          `json:"id"`
 	Status      Status          `json:"status"`
 	Cached      bool            `json:"cached"`
+	CacheSource string          `json:"cache_source,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Samples     int             `json:"samples"`
 	SubmittedAt time.Time       `json:"submitted_at,omitzero"`
@@ -87,6 +111,7 @@ func (j *Job) View() JobView {
 		ID:          j.ID,
 		Status:      j.status,
 		Cached:      j.cached,
+		CacheSource: j.cacheSource,
 		Error:       j.errMsg,
 		Samples:     len(j.samples),
 		SubmittedAt: j.submitted,
@@ -121,16 +146,24 @@ func (j *Job) addSample(s Sample) {
 	j.mu.Unlock()
 }
 
-// Manager owns the job table, the worker pool, and the result cache.
+// Manager owns the job table, the worker pool, and the result cache —
+// and, when a TierConfig is set, this node's membership in the fleet's
+// sharded cache tier.
 type Manager struct {
 	opts  Options
 	pool  *runner.Pool
 	cache *cache
+	tier  *tier // nil outside a fleet
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []string // job IDs in submission order, for eviction
 	seq   int64
+
+	// flightMu guards flights, the single-flight table: one entry per
+	// cache key currently being computed (see flight.go).
+	flightMu sync.Mutex
+	flights  map[uint64]*flight
 
 	// expSem serializes POST /experiments runs: experiments fan out
 	// internally and are far heavier than jobs, so concurrent requests
@@ -141,6 +174,8 @@ type Manager struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	running   atomic.Int64
+	coalesced atomic.Uint64 // single-flight waiters collapsed onto a primary
+	shedCt    atomic.Uint64 // submits rejected by shed mode
 
 	// aggMu guards the duration aggregates: queue wait is recorded when
 	// a worker picks a job up, run duration when a simulation completes.
@@ -166,23 +201,54 @@ func New(opts Options) *Manager {
 	if opts.RetainJobs <= 0 {
 		opts.RetainJobs = 1024
 	}
-	return &Manager{
-		opts:   opts,
-		pool:   runner.NewPool(opts.Workers, opts.Backlog),
-		cache:  newCache(opts.CacheEntries),
-		jobs:   map[string]*Job{},
-		expSem: make(chan struct{}, 1),
+	m := &Manager{
+		opts:    opts,
+		pool:    runner.NewPool(opts.Workers, opts.Backlog),
+		cache:   newCache(opts.CacheEntries),
+		jobs:    map[string]*Job{},
+		flights: map[uint64]*flight{},
+		expSem:  make(chan struct{}, 1),
 	}
+	if opts.Tier != nil {
+		m.tier = newTier(*opts.Tier)
+	}
+	return m
 }
+
+// ErrShed is returned by Submit in shed mode when the pool backlog is
+// full: the service rejects explicitly (HTTP 429) instead of letting
+// the caller queue behind the overload. Counted in /statsz.
+var ErrShed = errors.New("simsvc: shedding load (pool backlog full)")
 
 // Submit validates a spec and enqueues it, returning the job record. A
 // cache hit completes the job immediately — no worker, no simulation —
-// with the memoized payload.
+// with the memoized payload; a spec identical to one already in flight
+// (here or, via the tier, on the key's owner) coalesces onto that
+// computation instead of repeating it.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	return m.submit(spec, true)
+}
+
+// SubmitLocal is Submit pinned to this node: the job never consults the
+// peer tier. The /cache handler uses it to recompute owned keys, so a
+// misconfigured ring can never bounce a request between nodes.
+func (m *Manager) SubmitLocal(spec JobSpec) (*Job, error) {
+	return m.submit(spec, false)
+}
+
+func (m *Manager) submit(spec JobSpec, allowPeer bool) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	job := &Job{Spec: spec, status: StatusQueued, submitted: time.Now()}
+	identity := spec.Canonical()
+	job := &Job{
+		Spec:      spec,
+		key:       identityKey(identity),
+		identity:  identity,
+		noPeer:    !allowPeer,
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
 	job.cond = sync.NewCond(&job.mu)
 
 	m.mu.Lock()
@@ -194,15 +260,10 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Unlock()
 	m.submitted.Add(1)
 
-	if payload, ok := m.cache.get(spec.Key()); ok {
-		job.mu.Lock()
-		job.cached = true
-		job.result = payload
-		job.status = StatusDone
-		job.finished = time.Now()
-		job.cond.Broadcast()
-		job.mu.Unlock()
-		m.completed.Add(1)
+	primary, settled := m.joinOrStartFlight(job)
+	if settled || !primary {
+		// A cache hit completed the job; a coalesced waiter completes
+		// when its primary resolves. Neither needs a worker.
 		return job, nil
 	}
 
@@ -211,9 +272,16 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	job.cancel = cancel
 	job.mu.Unlock()
 	if err := m.pool.Submit(func() { m.run(ctx, job) }); err != nil {
+		if errors.Is(err, runner.ErrPoolSaturated) && m.opts.Shed {
+			m.shedCt.Add(1)
+			err = ErrShed
+		}
 		// Shed: the caller never learns this job's ID, so drop the
-		// record too — a rejection must not grow the job table.
+		// record too — a rejection must not grow the job table. Any
+		// waiter that coalesced onto us in the window above fails with
+		// the same error.
 		cancel()
+		m.resolveFlight(job.key, nil, err)
 		m.mu.Lock()
 		delete(m.jobs, job.ID)
 		for i := len(m.order) - 1; i >= 0; i-- { // ours is at or near the end
@@ -266,14 +334,21 @@ func (m *Manager) evictLocked() {
 	m.order = kept
 }
 
-// run executes one job on a worker: build the device, precondition,
-// drive the sampled workload, memoize the result.
+// run executes one job on a worker. In a fleet, a key owned by another
+// node is first fetched from that owner (coalescing onto the owner's
+// in-flight computation if one exists); only if the owner has nothing
+// — or is down, timing out, or shedding — does this worker build the
+// device, precondition, and drive the sampled workload itself. Either
+// way the payload lands in the local cache and resolves this node's
+// single-flight waiters.
 func (m *Manager) run(ctx context.Context, job *Job) {
 	job.mu.Lock()
 	if job.status.terminal() {
 		// Cancelled while still queued: Cancel already failed the job
-		// (and counted it); the worker has nothing to do.
+		// (and counted it); the worker has nothing to do — but any
+		// coalesced waiters must learn their primary died.
 		job.mu.Unlock()
+		m.resolveFlight(job.key, nil, context.Canceled)
 		return
 	}
 	job.status = StatusRunning
@@ -286,19 +361,45 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 	m.aggMu.Unlock()
 	m.running.Add(1)
 	defer m.running.Add(-1)
+
+	var owner string
+	if !job.noPeer && m.tier != nil {
+		owner = m.tier.owner(job.key)
+	}
+	if owner != "" {
+		if payload, ok := fetch(ctx, m.tier, owner, job.key, job.identity); ok {
+			// Fleet hit: keep an L1 copy so repeats are local, settle
+			// waiters, and finish the job as a cached completion —
+			// byte-identical to what the owner (or any node) serves.
+			m.cache.put(job.key, job.identity, payload)
+			m.resolveFlight(job.key, payload, nil)
+			m.completeCached(job, payload, "peer")
+			return
+		}
+	}
+
 	res, err := m.simulate(ctx, job)
 	if err != nil {
 		job.fail(err)
 		m.failed.Add(1)
+		m.resolveFlight(job.key, nil, err)
 		return
 	}
 	payload, err := json.Marshal(res)
 	if err != nil {
 		job.fail(err)
 		m.failed.Add(1)
+		m.resolveFlight(job.key, nil, err)
 		return
 	}
-	m.cache.put(job.Spec.Key(), payload)
+	m.cache.put(job.key, job.identity, payload)
+	m.resolveFlight(job.key, payload, nil)
+	if owner != "" {
+		// Computed locally for a key someone else owns (the owner was
+		// down or shedding): push the payload so the tier converges on
+		// owner-holds-the-entry. Best-effort and off the worker.
+		go push(m.tier, owner, job.key, job.identity, payload)
+	}
 	job.mu.Lock()
 	job.result = payload
 	job.status = StatusDone
@@ -525,15 +626,24 @@ func durationAgg(m stats.Mean) DurationAgg {
 // covers every job a worker picked up (submit → start); Run covers
 // completed simulations (start → done); cache hits appear in neither.
 type Stats struct {
-	Workers       int         `json:"workers"`
-	SampleEvery   int         `json:"sample_every"`
-	JobsSubmitted int64       `json:"jobs_submitted"`
-	JobsRunning   int64       `json:"jobs_running"`
-	JobsCompleted int64       `json:"jobs_completed"`
-	JobsFailed    int64       `json:"jobs_failed"`
-	QueueWait     DurationAgg `json:"queue_wait"`
-	Run           DurationAgg `json:"run"`
-	Cache         CacheStats  `json:"cache"`
+	Workers       int   `json:"workers"`
+	SampleEvery   int   `json:"sample_every"`
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	// JobsShed counts submits rejected by shed mode (HTTP 429); zero
+	// unless the manager runs with Options.Shed.
+	JobsShed uint64 `json:"jobs_shed"`
+	// Coalesced counts single-flight waiters: jobs that attached to an
+	// identical in-flight computation instead of simulating.
+	Coalesced uint64      `json:"coalesced"`
+	QueueWait DurationAgg `json:"queue_wait"`
+	Run       DurationAgg `json:"run"`
+	Cache     CacheStats  `json:"cache"`
+	// Tier is the fleet cache tier's counters when this node is peered
+	// (Options.Tier), absent otherwise.
+	Tier *TierStats `json:"tier,omitempty"`
 	// Campaigns is the campaign subsystem's counters when one is
 	// attached (SetCampaignStats), absent otherwise.
 	Campaigns any `json:"campaigns,omitempty"`
@@ -551,9 +661,15 @@ func (m *Manager) Stats() Stats {
 		JobsRunning:   m.running.Load(),
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),
+		JobsShed:      m.shedCt.Load(),
+		Coalesced:     m.coalesced.Load(),
 		QueueWait:     durationAgg(queueWait),
 		Run:           durationAgg(runDur),
 		Cache:         m.cache.stats(),
+	}
+	if m.tier != nil {
+		tierStats := m.tier.stats()
+		s.Tier = &tierStats
 	}
 	m.mu.Lock()
 	campaigns := m.campaignStats

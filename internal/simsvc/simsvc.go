@@ -189,23 +189,32 @@ func (s *JobSpec) Validate() error {
 	return nil
 }
 
-// Key is the spec's content address: FNV-1a over its canonical JSON
-// encoding (struct fields marshal in declaration order, so equal specs
-// hash equally), matching the fingerprint style of the golden workload
-// tests.
-func (s JobSpec) Key() uint64 {
+// Canonical is the spec's cache identity: its canonical JSON encoding
+// (struct fields marshal in declaration order, so equal specs encode
+// equally). The identity bytes — not the 64-bit hash of them — are what
+// two specs must share to share a cache entry; they are stored with
+// each entry, compared on every hit, and shipped to peers so the owner
+// of a key can verify (or recompute) exactly the spec being asked for.
+func (s JobSpec) Canonical() []byte {
 	// Sharding is an execution knob, not a simulation parameter: the
 	// parallel dataplane is byte-identical to the single engine, so a
-	// spec's key must not depend on it (a sharded run warms the cache
-	// for single-engine requests and vice versa). s is a copy.
+	// spec's identity must not depend on it (a sharded run warms the
+	// cache for single-engine requests and vice versa). s is a copy.
 	s.Options.Shards = 0
 	canonical, err := json.Marshal(s)
 	if err != nil {
 		// Specs are plain data; Marshal cannot fail on them.
 		panic(fmt.Sprintf("simsvc: marshal spec: %v", err))
 	}
+	return canonical
+}
+
+// Key is the spec's content address: FNV-1a over Canonical, matching
+// the fingerprint style of the golden workload tests. The key indexes;
+// Canonical identifies (see cache.get).
+func (s JobSpec) Key() uint64 {
 	h := fnv.New64a()
-	h.Write(canonical)
+	h.Write(s.Canonical())
 	return h.Sum64()
 }
 

@@ -610,21 +610,54 @@ func TestSpecKey(t *testing.T) {
 // TestCacheLRU pins the eviction bound.
 func TestCacheLRU(t *testing.T) {
 	c := newCache(2)
-	c.put(1, []byte("a"))
-	c.put(2, []byte("b"))
-	if _, ok := c.get(1); !ok { // refresh 1; 2 becomes LRU
+	id1, id2, id3 := []byte("id-1"), []byte("id-2"), []byte("id-3")
+	c.put(1, id1, []byte("a"))
+	c.put(2, id2, []byte("b"))
+	if _, ok := c.get(1, id1); !ok { // refresh 1; 2 becomes LRU
 		t.Fatal("missing entry 1")
 	}
-	c.put(3, []byte("c"))
-	if _, ok := c.get(2); ok {
+	c.put(3, id3, []byte("c"))
+	if _, ok := c.get(2, id2); ok {
 		t.Fatal("LRU entry 2 survived eviction")
 	}
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.get(1, id1); !ok {
 		t.Fatal("recently used entry 1 evicted")
 	}
 	st := c.stats()
 	if st.Evicted != 1 || st.Entries != 2 {
 		t.Fatalf("cache stats %+v", st)
+	}
+}
+
+// TestCacheKeyCollision forces two identities onto one 64-bit key: the
+// cache must never serve one identity's payload for the other — a
+// collision is a counted miss — and a colliding store replaces the
+// incumbent rather than poisoning it.
+func TestCacheKeyCollision(t *testing.T) {
+	c := newCache(4)
+	specA, specB := []byte(`{"spec":"a"}`), []byte(`{"spec":"b"}`)
+	const key = 42 // same key for both: a forced FNV collision
+	c.put(key, specA, []byte("payload-a"))
+	if _, ok := c.get(key, specB); ok {
+		t.Fatal("colliding key served another identity's payload")
+	}
+	if st := c.stats(); st.KeyCollisions != 1 || st.Hits != 0 {
+		t.Fatalf("after colliding get: stats %+v, want 1 collision, 0 hits", st)
+	}
+	if got, ok := c.get(key, specA); !ok || string(got) != "payload-a" {
+		t.Fatalf("original identity no longer hits: %q %v", got, ok)
+	}
+	// A colliding put replaces the entry; each spec then sees its own
+	// payload or a miss, never the other's bytes.
+	c.put(key, specB, []byte("payload-b"))
+	if st := c.stats(); st.KeyCollisions != 2 {
+		t.Fatalf("colliding put not counted: stats %+v", st)
+	}
+	if _, ok := c.get(key, specA); ok {
+		t.Fatal("replaced identity still hits")
+	}
+	if got, ok := c.get(key, specB); !ok || string(got) != "payload-b" {
+		t.Fatalf("new identity misses: %q %v", got, ok)
 	}
 }
 
