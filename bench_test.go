@@ -644,6 +644,48 @@ func BenchmarkDispatchSWTFScan(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchSWTFTenants is BenchmarkDispatchSWTF with the
+// weighted fair-share layer engaged: four tenant classes at unequal
+// weights, every push tagged and costed. The DRR pick path must hold
+// the same contract as the single-tenant one — no allocations at any
+// depth — so tenancy is free for runs that don't use it and O(tenants)
+// for runs that do.
+func BenchmarkDispatchSWTFTenants(b *testing.B) {
+	for _, depth := range []int{1024, 16384, 65536} {
+		name := map[int]string{1024: "1k", 16384: "16k", 65536: "64k"}[depth]
+		b.Run(name, func(b *testing.B) {
+			const elements = 64
+			q := sched.NewQueue(sched.SWTF, elements)
+			q.SetTenantWeight(1, 1)
+			q.SetTenantWeight(2, 4)
+			q.SetTenantWeight(3, 2)
+			q.SetTenantWeight(4, 8)
+			elems := make([][]int, elements)
+			payloads := make([]*dispatchPayload, elements)
+			for e := 0; e < elements; e++ {
+				elems[e] = []int{e}
+				payloads[e] = &dispatchPayload{elem: e}
+			}
+			for i := 0; i < depth; i++ {
+				q.PushT(elems[i%elements], payloads[i%elements], uint8(1+i%4), 4096)
+			}
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, ok := q.Pop(now)
+				if !ok {
+					b.Fatal("steady-state pop failed")
+				}
+				e := data.(*dispatchPayload).elem
+				q.SetBusy(e, now+1)
+				q.PushT(elems[i%elements], payloads[i%elements], uint8(1+i%4), 4096)
+				now++
+			}
+		})
+	}
+}
+
 // BenchmarkExtensionSchemes regenerates the FTL-scheme comparison.
 func BenchmarkExtensionSchemes(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -16,10 +16,12 @@ import (
 // seeds. They must survive any refactor that claims behavioral
 // equivalence; a PR that deliberately changes simulated behavior or
 // report formatting updates them alongside the change (last updated
-// when the faultlife experiment joined the catalog).
+// when the interference experiment joined the catalog — the tenancy
+// refactor itself left the previous goldens byte-identical, verified
+// before the catalog grew).
 var reportGoldens = map[int64]string{
-	1: "ef4e1d0172bde31c27f29868930bc1d2b13501a0828a61bbc2f7d2cf6fb407ee",
-	7: "19133a5736a05221042721ba3df359ec9881ad2a9452bb4a00b573238acd72db",
+	1: "3cde8864c72567141ecd5f3e8052e714a1b126ec3e4ad34c44c9650d2160bca5",
+	7: "16f2bac08afd8f9b731ca1586bc194159ead731cb5a993ed96e6bf9796b568c9",
 }
 
 // reportBytes regenerates the full text report exactly as `repro -seed

@@ -38,6 +38,33 @@ import (
 	"ossd/internal/simsvc"
 )
 
+// parseTenantQuotas turns "-tenant-quota 7=2,9=1" into the manager's
+// quota map. Tenant 0 is the untenanted class and cannot be capped.
+func parseTenantQuotas(s string) (map[uint8]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[uint8]int{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		var tenant, max int
+		if _, err := fmt.Sscanf(pair, "%d=%d", &tenant, &max); err != nil {
+			return nil, fmt.Errorf("-tenant-quota: %q is not tenant=max", pair)
+		}
+		if tenant < 1 || tenant > 255 {
+			return nil, fmt.Errorf("-tenant-quota: tenant %d outside 1-255", tenant)
+		}
+		if max < 1 {
+			return nil, fmt.Errorf("-tenant-quota: cap %d for tenant %d must be >= 1", max, tenant)
+		}
+		out[uint8(tenant)] = max
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -47,11 +74,18 @@ func main() {
 		sample   = flag.Int("sample", 0, "telemetry sample cadence in ops (0 = 1000)")
 		maxCells = flag.Int("max-cells", 0, "campaign expansion guard in cells (0 = 4096)")
 		shed     = flag.Bool("shed", false, "reject full-backlog submits with HTTP 429 (counted in /statsz) instead of 503")
+		quotas   = flag.String("tenant-quota", "", "per-tenant in-flight job caps as tenant=max pairs, e.g. 7=2,9=1 (unlisted tenants are uncapped)")
 		self     = flag.String("self", "", "this instance's base URL in the fleet (e.g. http://a:8080); required with -peers")
 		peers    = flag.String("peers", "", "comma-separated peer base URLs forming the cache tier's consistent-hash ring")
 		peerWait = flag.Duration("peer-timeout", 0, "bound on one owner fetch, including coalescing behind the owner's in-flight run (0 = 2m)")
 	)
 	flag.Parse()
+
+	tenantQuotas, err := parseTenantQuotas(*quotas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(2)
+	}
 
 	var tierCfg *simsvc.TierConfig
 	if *peers != "" {
@@ -76,6 +110,7 @@ func main() {
 		SampleEvery:  *sample,
 		Shed:         *shed,
 		Tier:         tierCfg,
+		TenantQuotas: tenantQuotas,
 	})
 	camp := campaign.New(mgr, campaign.Options{MaxCells: *maxCells})
 	mux := http.NewServeMux()

@@ -27,6 +27,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"ossd/internal/simsvc"
@@ -112,32 +113,52 @@ func label(raw json.RawMessage) string {
 	return buf.String()
 }
 
-// setPath sets a dotted path in a JSON object tree, creating
-// intermediate objects as needed (the template's omitempty fields may
-// be absent). Wrong field names are not detectable here — the final
-// decode into JobSpec with DisallowUnknownFields catches them.
+// setPath sets a dotted path in a JSON tree, creating intermediate
+// objects as needed (the template's omitempty fields may be absent).
+// Numeric segments index into arrays the template already carries —
+// "tenants.0.weight" sweeps the first tenant's fair-share weight — but
+// arrays are never created implicitly and never grown: the template
+// must list the elements the axis addresses. Wrong field names are not
+// detectable here — the final decode into JobSpec with
+// DisallowUnknownFields catches them.
 func setPath(m map[string]any, path string, v any) error {
 	segs := strings.Split(path, ".")
+	var cur any = m
 	for i, seg := range segs {
 		if seg == "" {
 			return fmt.Errorf("campaign: axis %q has an empty path segment", path)
 		}
-		if i == len(segs)-1 {
-			m[seg] = v
-			return nil
+		last := i == len(segs)-1
+		switch node := cur.(type) {
+		case map[string]any:
+			if last {
+				node[seg] = v
+				return nil
+			}
+			next, ok := node[seg]
+			if !ok {
+				child := map[string]any{}
+				node[seg] = child
+				cur = child
+				continue
+			}
+			cur = next
+		case []any:
+			idx, err := strconv.Atoi(seg)
+			if err != nil {
+				return fmt.Errorf("campaign: axis %q: %q indexes an array but is not an integer", path, seg)
+			}
+			if idx < 0 || idx >= len(node) {
+				return fmt.Errorf("campaign: axis %q: index %d outside the template's %d-element array", path, idx, len(node))
+			}
+			if last {
+				node[idx] = v
+				return nil
+			}
+			cur = node[idx]
+		default:
+			return fmt.Errorf("campaign: axis %q: %q is not an object or array", path, seg)
 		}
-		next, ok := m[seg]
-		if !ok {
-			child := map[string]any{}
-			m[seg] = child
-			m = child
-			continue
-		}
-		child, ok := next.(map[string]any)
-		if !ok {
-			return fmt.Errorf("campaign: axis %q: %q is not an object", path, seg)
-		}
-		m = child
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"encoding/json"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -101,7 +102,7 @@ func TestExpandZeroAxes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 1 || cells[0].Spec != template(100) {
+	if len(cells) != 1 || !reflect.DeepEqual(cells[0].Spec, template(100)) {
 		t.Fatalf("zero-axis expansion: %+v", cells)
 	}
 }
@@ -233,5 +234,54 @@ func TestExpandFaultAxis(t *testing.T) {
 	spec.Axes[0].Values = vals("2.0")
 	if _, err := Expand(spec, 4096); err == nil {
 		t.Error("out-of-range fault rate accepted")
+	}
+}
+
+// TestExpandTenantWeightAxis pins that numeric path segments index into
+// the template's tenants array, so per-tenant fair-share weights are
+// sweepable campaign axes — the interference experiment's grid shape.
+func TestExpandTenantWeightAxis(t *testing.T) {
+	tmpl := template(100)
+	tmpl.Tenants = []simsvc.TenantSpec{
+		{Tenant: 1, Weight: 1},
+		{Tenant: 2, Weight: 1},
+	}
+	spec := Spec{
+		Template: tmpl,
+		Axes: []Axis{
+			{Name: "tenants.1.weight", Values: vals("1", "4", "16")},
+		},
+	}
+	cells, err := Expand(spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	wantW := []float64{1, 4, 16}
+	keys := map[uint64]bool{}
+	for i, c := range cells {
+		if len(c.Spec.Tenants) != 2 || c.Spec.Tenants[0].Weight != 1 {
+			t.Fatalf("cell %d: tenants mangled: %+v", i, c.Spec.Tenants)
+		}
+		if c.Spec.Tenants[1].Weight != wantW[i] {
+			t.Errorf("cell %d: weight %v, want %v", i, c.Spec.Tenants[1].Weight, wantW[i])
+		}
+		keys[c.Spec.Key()] = true
+	}
+	if len(keys) != 3 {
+		t.Errorf("tenant weights collapsed to %d cache identities, want 3", len(keys))
+	}
+	// Arrays are never grown: an index past the template's elements
+	// rejects the campaign rather than silently extending it.
+	spec.Axes[0].Name = "tenants.2.weight"
+	if _, err := Expand(spec, 4096); err == nil {
+		t.Error("out-of-range tenant index accepted")
+	}
+	// Non-integer segments against an array are rejected too.
+	spec.Axes[0].Name = "tenants.first.weight"
+	if _, err := Expand(spec, 4096); err == nil {
+		t.Error("non-integer array segment accepted")
 	}
 }

@@ -111,6 +111,61 @@ type Snapshot struct {
 	FaultRetries   int64 `json:"fault_retries"`
 	RetiredBlocks  int64 `json:"retired_blocks"`
 	RemappedPages  int64 `json:"remapped_pages"`
+	// Tenants breaks read/write activity down per tenant class, in tenant
+	// order, one entry per tenant that completed at least one transfer
+	// (single-tenant runs report one entry for tenant 0; a device that saw
+	// no reads or writes reports none). Populated uniformly by all five
+	// wrappers. Frees and errors are device-global and stay on the top
+	// level; for every tenant-attributed statistic the entries sum to the
+	// totals above.
+	Tenants []TenantSnapshot `json:"tenants"`
+}
+
+// TenantSnapshot is one tenant's slice of the device activity: the
+// count/bytes/latency view of Snapshot, scoped to the ops tagged with
+// that tenant ID.
+type TenantSnapshot struct {
+	Tenant       int     `json:"tenant"`
+	Reads        int64   `json:"reads"`
+	Writes       int64   `json:"writes"`
+	BytesRead    int64   `json:"bytes_read"`
+	BytesWritten int64   `json:"bytes_written"`
+	MeanReadMs   float64 `json:"mean_read_ms"`
+	MeanWriteMs  float64 `json:"mean_write_ms"`
+	P50ReadMs    float64 `json:"p50_read_ms"`
+	P95ReadMs    float64 `json:"p95_read_ms"`
+	P99ReadMs    float64 `json:"p99_read_ms"`
+	P50WriteMs   float64 `json:"p50_write_ms"`
+	P95WriteMs   float64 `json:"p95_write_ms"`
+	P99WriteMs   float64 `json:"p99_write_ms"`
+}
+
+// tenantSnapshots converts a per-tenant accumulator set into the
+// Snapshot's serialized form — one implementation for all five wrappers,
+// with the same non-finite guard as the top-level latency fields.
+func tenantSnapshots(ts stats.TenantSet) []TenantSnapshot {
+	if ts.Len() == 0 {
+		return nil
+	}
+	out := make([]TenantSnapshot, 0, ts.Len())
+	for _, a := range ts.Entries() {
+		out = append(out, TenantSnapshot{
+			Tenant:       int(a.Tenant),
+			Reads:        a.Reads,
+			Writes:       a.Writes,
+			BytesRead:    a.BytesRead,
+			BytesWritten: a.BytesWritten,
+			MeanReadMs:   latencyMs(a.ReadResp.Mean()),
+			MeanWriteMs:  latencyMs(a.WriteResp.Mean()),
+			P50ReadMs:    latencyMs(a.ReadResp.Percentile(50)),
+			P95ReadMs:    latencyMs(a.ReadResp.Percentile(95)),
+			P99ReadMs:    latencyMs(a.ReadResp.Percentile(99)),
+			P50WriteMs:   latencyMs(a.WriteResp.Percentile(50)),
+			P95WriteMs:   latencyMs(a.WriteResp.Percentile(95)),
+			P99WriteMs:   latencyMs(a.WriteResp.Percentile(99)),
+		})
+	}
+	return out
 }
 
 // fillLatency populates the mean and percentile response-time fields
@@ -423,6 +478,7 @@ func ssdSnapshot(m ssd.Metrics) Snapshot {
 		FaultRetries:   m.FaultRetries,
 		RetiredBlocks:  m.RetiredBlocks,
 		RemappedPages:  m.RemappedPages,
+		Tenants:        tenantSnapshots(m.Tenants),
 	}
 	s.fillLatency(m.ReadResp, m.WriteResp)
 	return s
@@ -503,6 +559,7 @@ func (h *HDD) Metrics() Snapshot {
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
 		Frees:        h.frees,
+		Tenants:      tenantSnapshots(m.Tenants),
 	}
 	s.fillLatency(m.ReadResp, m.WriteResp)
 	return s

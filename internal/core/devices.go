@@ -81,6 +81,7 @@ func (r *RAID) Metrics() Snapshot {
 		BytesRead:    m.BytesRead,
 		BytesWritten: m.BytesWritten,
 		Frees:        r.frees,
+		Tenants:      tenantSnapshots(m.Tenants),
 	}
 	s.fillLatency(m.ReadResp, m.WriteResp)
 	return s
@@ -159,6 +160,7 @@ func (m *MEMS) Metrics() Snapshot {
 		BytesRead:    mm.BytesRead,
 		BytesWritten: mm.BytesWritten,
 		Frees:        m.frees,
+		Tenants:      tenantSnapshots(mm.Tenants),
 	}
 	s.fillLatency(mm.ReadResp, mm.WriteResp)
 	return s

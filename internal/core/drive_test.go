@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 
 	"ossd/internal/sim"
@@ -70,7 +71,7 @@ func TestDriveMaxPendingBoundsBacklog(t *testing.T) {
 	if d.Engine().Now() != d2.Engine().Now() {
 		t.Fatalf("paced runs diverged: %v vs %v", d.Engine().Now(), d2.Engine().Now())
 	}
-	if d.Metrics() != d2.Metrics() {
+	if !reflect.DeepEqual(d.Metrics(), d2.Metrics()) {
 		t.Fatalf("paced runs diverged: %+v vs %+v", d.Metrics(), d2.Metrics())
 	}
 }

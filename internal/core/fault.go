@@ -36,16 +36,31 @@ type FaultDevice struct {
 	// device's histograms record as two separate ordinary ops.
 	readResp  stats.Histogram
 	writeResp stats.Histogram
+	// tenants is the wrapper-eye per-tenant view, kept for the same
+	// reason: the inner device's per-tenant accumulators double-count a
+	// retried op (two services, two records) and never see dead ops. The
+	// wrapper records each host op exactly once, so its set replaces the
+	// inner one in the snapshot and per-tenant entries always sum to the
+	// reconciled host totals.
+	tenants stats.TenantSet
 }
 
-// record logs a host-visible response time (a failed op completes with
-// zero response, like an errored flash request).
-func (f *FaultDevice) record(kind trace.Kind, resp sim.Time) {
-	if kind == trace.Read {
-		f.readResp.Add(resp.Millis())
+// record logs one host-visible completion (a failed op completes with
+// zero response, like an errored flash request). serviced is false for
+// dead ops, which moved no media bytes: the op still counts for its
+// tenant, but contributes zero bytes, matching the top-level counters.
+func (f *FaultDevice) record(op trace.Op, resp sim.Time, serviced bool) {
+	ms := resp.Millis()
+	if op.Kind == trace.Read {
+		f.readResp.Add(ms)
 	} else {
-		f.writeResp.Add(resp.Millis())
+		f.writeResp.Add(ms)
 	}
+	size := op.Size
+	if !serviced {
+		size = 0
+	}
+	f.tenants.Record(op.Tenant, op.Kind != trace.Read, size, ms)
 }
 
 // WrapFault applies a fault plan to an existing device. The plan must
@@ -74,7 +89,7 @@ func (f *FaultDevice) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 		// Complete as an event, not synchronously: callers (closedLoop,
 		// driveBounded) resubmit from their completion callbacks.
 		f.inner.Engine().At(f.inner.Engine().Now(), func() {
-			f.record(op.Kind, 0)
+			f.record(op, 0, false)
 			if onDone != nil {
 				onDone(0, fault.ErrElementDead)
 			}
@@ -98,7 +113,7 @@ func (f *FaultDevice) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 			// services plus the pause.
 			eng.At(eng.Now()+f.plan.RetryCost(), func() {
 				err := f.inner.Submit(op, func(sim.Time, error) {
-					f.record(op.Kind, eng.Now()-start)
+					f.record(op, eng.Now()-start, true)
 					if onDone != nil {
 						onDone(eng.Now()-start, nil)
 					}
@@ -110,7 +125,7 @@ func (f *FaultDevice) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 		})
 	}
 	return f.inner.Submit(op, func(resp sim.Time, err error) {
-		f.record(op.Kind, resp)
+		f.record(op, resp, true)
 		if onDone != nil {
 			onDone(resp, err)
 		}
@@ -163,7 +178,12 @@ func (f *FaultDevice) Metrics() Snapshot {
 	s.FaultsInjected = f.injected
 	s.FaultRetries = f.retried
 	// Latency comes from the wrapper's histograms, which see each op's
-	// true host-visible response (retry spans included).
+	// true host-visible response (retry spans included). The per-tenant
+	// view is replaced wholesale for the same reason: the inner set
+	// counted every retry twice and never saw dead ops, while the
+	// wrapper's set records each host op exactly once, so per-tenant
+	// entries sum to the reconciled totals above.
+	s.Tenants = tenantSnapshots(f.tenants)
 	s.fillLatency(f.readResp, f.writeResp)
 	return s
 }

@@ -185,7 +185,7 @@ func TestFaultDeviceDeterminism(t *testing.T) {
 		return d.Metrics()
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("replay diverged:\n%+v\n%+v", a, b)
 	}
 	if a.FaultsInjected == 0 || a.Errors == 0 {

@@ -74,11 +74,11 @@ func (o *OSD) Submit(op trace.Op, onDone func(sim.Time, error)) error {
 	}
 	switch op.Kind {
 	case trace.Read:
-		return o.Store.Read(o.vol, op.Offset, op.Size, done)
+		return o.Store.ReadAs(o.vol, op.Offset, op.Size, op.Tenant, done)
 	case trace.Free:
 		return o.Store.FreeRange(o.vol, op.Offset, op.Size, done)
 	default:
-		return o.Store.Write(o.vol, op.Offset, op.Size, done)
+		return o.Store.WriteAs(o.vol, op.Offset, op.Size, op.Tenant, done)
 	}
 }
 

@@ -272,6 +272,36 @@ func WithScheduler(policy sched.Policy) Option {
 	}
 }
 
+// WithTenantWeights engages weighted fair-share dispatch on flash-backed
+// profiles: the device queue deficit-round-robins across tenant classes
+// with the given scheduler weights (tenants absent from the map weigh 1).
+// An empty or nil map restores legacy single-tenant dispatch. Weighted
+// devices always run single-engine: cross-tenant arbitration is global,
+// so the sharded dataplane refuses to decompose it (see
+// ssd.ShardableConfig).
+func WithTenantWeights(weights map[uint8]float64) Option {
+	return func(p *Profile) error {
+		if err := needFlash(p, "tenant weights"); err != nil {
+			return err
+		}
+		for t, w := range weights {
+			if w <= 0 {
+				return fmt.Errorf("core: tenant %d weight %v must be positive", t, w)
+			}
+		}
+		if len(weights) == 0 {
+			p.SSD.TenantWeights = nil
+			return nil
+		}
+		m := make(map[uint8]float64, len(weights))
+		for t, w := range weights {
+			m[t] = w
+		}
+		p.SSD.TenantWeights = m
+		return nil
+	}
+}
+
 // WithInformed toggles informed cleaning (§3.5 free-page knowledge) on
 // flash-backed profiles.
 func WithInformed(on bool) Option {

@@ -46,6 +46,9 @@ func Catalog() []CatalogEntry {
 		{"faultlife", "Extension: accelerated lifetime under wear ceilings (fault plans)", func(seed int64, workers int) (Result, error) {
 			return FaultLife(FaultLifeOptions{Seed: seed, Workers: workers})
 		}},
+		{"interference", "Extension: multi-tenant interference and fair-share isolation", func(seed int64, workers int) (Result, error) {
+			return Interference(InterferenceOptions{Seed: seed, Workers: workers})
+		}},
 	}
 }
 

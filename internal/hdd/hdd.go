@@ -72,6 +72,8 @@ type Metrics struct {
 	BytesRead, BytesWritten int64
 	CacheHits               int64
 	Seeks                   int64
+	// Tenants breaks completed host transfers down per tenant class.
+	Tenants stats.TenantSet
 }
 
 // cacheEntry is one dirty range in the write-back cache.
@@ -269,12 +271,12 @@ func (d *Disk) Submit(op trace.Op, onDone func(*Request)) error {
 			d.eng.Call(d.cfg.CacheLatency, finishEvent, req)
 			break
 		}
-		d.q.Push(actuator, req)
+		d.q.PushT(actuator, req, op.Tenant, op.Size)
 		d.drv.Pump()
 	case trace.Write:
 		if d.cfg.CacheBytes == 0 {
 			// Write-through: treat like a read-path media access.
-			d.q.Push(actuator, req)
+			d.q.PushT(actuator, req, op.Tenant, op.Size)
 			d.drv.Pump()
 			break
 		}
@@ -370,9 +372,11 @@ func (d *Disk) finish(req *Request) {
 	case trace.Read:
 		d.met.ReadResp.Add(ms)
 		d.met.BytesRead += req.Op.Size
+		d.met.Tenants.Record(req.Op.Tenant, false, req.Op.Size, ms)
 	case trace.Write:
 		d.met.WriteResp.Add(ms)
 		d.met.BytesWritten += req.Op.Size
+		d.met.Tenants.Record(req.Op.Tenant, true, req.Op.Size, ms)
 	}
 	if req.onDone != nil {
 		req.onDone(req)

@@ -59,6 +59,8 @@ type Metrics struct {
 	ReadResp, WriteResp     stats.Histogram // ms
 	BytesRead, BytesWritten int64
 	Seeks                   int64
+	// Tenants breaks completed host transfers down per tenant class.
+	Tenants stats.TenantSet
 }
 
 // Request mirrors the device request lifecycle.
@@ -154,7 +156,7 @@ func (d *Device) Submit(op trace.Op, onDone func(*Request)) error {
 		d.finish(req)
 		return nil
 	}
-	d.q.Push(sled, req)
+	d.q.PushT(sled, req, op.Tenant, op.Size)
 	d.drv.Pump()
 	return nil
 }
@@ -187,9 +189,11 @@ func (d *Device) finish(req *Request) {
 	case trace.Read:
 		d.met.ReadResp.Add(ms)
 		d.met.BytesRead += req.Op.Size
+		d.met.Tenants.Record(req.Op.Tenant, false, req.Op.Size, ms)
 	case trace.Write:
 		d.met.WriteResp.Add(ms)
 		d.met.BytesWritten += req.Op.Size
+		d.met.Tenants.Record(req.Op.Tenant, true, req.Op.Size, ms)
 	}
 	if req.onDone != nil {
 		req.onDone(req)

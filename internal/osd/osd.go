@@ -29,6 +29,12 @@ type ObjectID uint64
 type Attributes struct {
 	// Priority marks the object's I/O as foreground (§3.6).
 	Priority bool
+	// Tenant is the owning tenant class (0 = untagged): device I/O issued
+	// for this object is tagged with it, so per-tenant accounting and
+	// fair-share dispatch see object traffic attributed to its owner. The
+	// block-compatible volume front overrides it per op via the *As
+	// variants, since one shared volume carries every tenant's I/O.
+	Tenant uint8
 	// ReadOnly marks the object immutable: writes are rejected, and the
 	// device may treat its data as cold during wear-leveling.
 	ReadOnly bool
@@ -286,7 +292,7 @@ func (o *object) ranges(base, unit, off, size int64) ([][2]int64, error) {
 
 // submitRanges issues one device op per contiguous device range and
 // calls done with the first error once all complete.
-func (s *Store) submitRanges(kind trace.Kind, ranges [][2]int64, pri bool, done func(error)) {
+func (s *Store) submitRanges(kind trace.Kind, ranges [][2]int64, pri bool, tenant uint8, done func(error)) {
 	if len(ranges) == 0 {
 		if done != nil {
 			done(nil)
@@ -296,7 +302,7 @@ func (s *Store) submitRanges(kind trace.Kind, ranges [][2]int64, pri bool, done 
 	left := len(ranges)
 	var firstErr error
 	for _, r := range ranges {
-		op := trace.Op{Kind: kind, Offset: r[0], Size: r[1], Priority: pri}
+		op := trace.Op{Kind: kind, Offset: r[0], Size: r[1], Priority: pri, Tenant: tenant}
 		err := s.dev.Submit(op, func(req *ssd.Request) {
 			if req.Err != nil && firstErr == nil {
 				firstErr = req.Err
@@ -351,6 +357,17 @@ func (s *Store) Write(id ObjectID, off, size int64, done func(error)) error {
 	if !ok {
 		return ErrNotFound
 	}
+	return s.WriteAs(id, off, size, o.attrs.Tenant, done)
+}
+
+// WriteAs is Write with the device I/O tagged for an explicit tenant
+// instead of the object's owner — the block volume front's hook, where
+// one shared volume carries every tenant's I/O.
+func (s *Store) WriteAs(id ObjectID, off, size int64, tenant uint8, done func(error)) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
 	if o.attrs.ReadOnly {
 		return ErrReadOnly
 	}
@@ -368,12 +385,22 @@ func (s *Store) Write(id ObjectID, off, size int64, done func(error)) error {
 		o.size = off + size
 	}
 	s.stats.BytesWritten += size
-	s.submitRanges(trace.Write, ranges, o.attrs.Priority, done)
+	s.submitRanges(trace.Write, ranges, o.attrs.Priority, tenant, done)
 	return nil
 }
 
 // Read fetches size bytes at object offset off.
 func (s *Store) Read(id ObjectID, off, size int64, done func(error)) error {
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	return s.ReadAs(id, off, size, o.attrs.Tenant, done)
+}
+
+// ReadAs is Read with the device I/O tagged for an explicit tenant (see
+// WriteAs).
+func (s *Store) ReadAs(id ObjectID, off, size int64, tenant uint8, done func(error)) error {
 	o, ok := s.objs[id]
 	if !ok {
 		return ErrNotFound
@@ -386,7 +413,7 @@ func (s *Store) Read(id ObjectID, off, size int64, done func(error)) error {
 		return err
 	}
 	s.stats.BytesRead += size
-	s.submitRanges(trace.Read, ranges, o.attrs.Priority, done)
+	s.submitRanges(trace.Read, ranges, o.attrs.Priority, tenant, done)
 	return nil
 }
 
@@ -408,7 +435,7 @@ func (s *Store) FreeRange(id ObjectID, off, size int64, done func(error)) error 
 		return err
 	}
 	s.stats.FreedBytes += size
-	s.submitRanges(trace.Free, ranges, o.attrs.Priority, done)
+	s.submitRanges(trace.Free, ranges, o.attrs.Priority, o.attrs.Tenant, done)
 	return nil
 }
 

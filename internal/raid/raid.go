@@ -49,6 +49,8 @@ type Metrics struct {
 	// and read-modify-write; DiskBytesWritten/BytesWritten is the array's
 	// write amplification.
 	DiskBytesRead, DiskBytesWritten int64
+	// Tenants breaks completed host transfers down per tenant class.
+	Tenants stats.TenantSet
 }
 
 // Request mirrors the device request lifecycle.
@@ -208,6 +210,12 @@ func (a *Array) Submit(op trace.Op, onDone func(*Request)) error {
 		a.finish(req)
 		return nil
 	}
+	// Spindle sub-ops inherit the host op's tenant so the disks'
+	// per-tenant queues and metrics attribute the derived traffic
+	// (including parity read-modify-write) to the tenant that caused it.
+	for i := range subs {
+		subs[i].op.Tenant = op.Tenant
+	}
 	left := len(subs)
 	for _, s := range subs {
 		switch s.op.Kind {
@@ -237,9 +245,11 @@ func (a *Array) finish(req *Request) {
 	case trace.Read:
 		a.met.ReadResp.Add(ms)
 		a.met.BytesRead += req.Op.Size
+		a.met.Tenants.Record(req.Op.Tenant, false, req.Op.Size, ms)
 	case trace.Write:
 		a.met.WriteResp.Add(ms)
 		a.met.BytesWritten += req.Op.Size
+		a.met.Tenants.Record(req.Op.Tenant, true, req.Op.Size, ms)
 	}
 	if req.onDone != nil {
 		req.onDone(req)

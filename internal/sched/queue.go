@@ -34,6 +34,16 @@ import (
 // the queue neither allocates on the dispatch path nor pins completed
 // requests for the garbage collector.
 //
+// A Queue optionally layers weighted fair-share dispatch across tenant
+// classes on top of either policy: SetTenantWeight switches it into
+// deficit-round-robin mode, where each tenant keeps its own sub-queue
+// (arrival list or candidate heap plus parked lists) ordered by the base
+// policy, and a DRR pointer with per-tenant byte-deficit counters picks
+// which tenant's dispatchable head goes next. Until SetTenantWeight is
+// called the fair-share layer does not exist — every code path is the
+// single-tenant one, so legacy runs are byte-identical to the
+// pre-tenancy queue.
+//
 // Queues are not safe for concurrent use; like the sim.Engine that drives
 // them, a queue belongs to a single simulation.
 type Queue struct {
@@ -51,8 +61,34 @@ type Queue struct {
 	blocked []*item // head of each element's parked list
 	wakes   []wake
 
+	// Weighted fair-share (DRR) state; engaged by SetTenantWeight. tens
+	// is the tenant ring, sorted by tenant ID; rr is the round-robin
+	// pointer into it.
+	fair bool
+	tens []*tenantQ
+	rr   int
+
 	// free is the item pool (singly linked through next).
 	free *item
+}
+
+// drrQuantum is the base deficit refill in bytes; a tenant's refill is
+// drrQuantum times its weight.
+const drrQuantum = 64 << 10
+
+// tenantQ is one tenant's sub-queue in weighted fair-share mode. It
+// mirrors the single-tenant index structures: an arrival-order FIFO
+// under FCFS, a Seq-keyed candidate heap plus per-element parked lists
+// under SWTF.
+type tenantQ struct {
+	id      uint8
+	weight  float64
+	deficit float64
+	length  int
+
+	head, tail *item   // FCFS arrival list
+	ready      []*item // SWTF candidate heap
+	blocked    []*item // SWTF per-element parked lists
 }
 
 // item is one queued request: its element set, arrival sequence number,
@@ -61,6 +97,8 @@ type item struct {
 	elems []int
 	seq   uint64
 	data  any
+	cost  float64  // DRR dispatch cost (bytes); 1 when untracked
+	tq    *tenantQ // owning tenant sub-queue; nil in single-tenant mode
 
 	prev, next *item // FIFO list (FCFS) or parked list (SWTF)
 	heapIdx    int   // position in the ready heap; -1 when not in it
@@ -112,16 +150,84 @@ func (q *Queue) SetBusy(e int, until sim.Time) {
 	}
 }
 
+// SetTenantWeight switches the queue into weighted fair-share mode and
+// sets one tenant's scheduler weight (> 0; larger shares dispatch more
+// bytes). Call it at device construction time, before any Push: tenants
+// seen later without an explicit weight default to 1. Without any call,
+// the fair-share layer is absent and dispatch is exactly the legacy
+// single-tenant policy.
+func (q *Queue) SetTenantWeight(tenant uint8, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	q.fair = true
+	q.tenantFor(tenant).weight = weight
+}
+
+// Fair reports whether weighted fair-share dispatch is engaged.
+func (q *Queue) Fair() bool { return q.fair }
+
+// tenantFor returns tenant t's sub-queue, inserting it into the ring in
+// sorted position on first sight.
+func (q *Queue) tenantFor(t uint8) *tenantQ {
+	i := 0
+	for i < len(q.tens) && q.tens[i].id < t {
+		i++
+	}
+	if i < len(q.tens) && q.tens[i].id == t {
+		return q.tens[i]
+	}
+	tq := &tenantQ{id: t, weight: 1, blocked: make([]*item, len(q.busyUntil))}
+	q.tens = append(q.tens, nil)
+	copy(q.tens[i+1:], q.tens[i:])
+	q.tens[i] = tq
+	if i <= q.rr && len(q.tens) > 1 {
+		q.rr++ // keep the DRR pointer on the tenant it was on
+	}
+	return tq
+}
+
 // Push enqueues a request occupying the given elements and returns its
 // arrival sequence number. The element slice is copied into a pooled
-// item; the caller may reuse it.
+// item; the caller may reuse it. Ops pushed this way are untagged
+// (tenant 0, unit cost); media models that know the op use PushT.
 func (q *Queue) Push(elems []int, data any) uint64 {
+	return q.PushT(elems, data, 0, 1)
+}
+
+// PushT is Push with the op's tenant class and dispatch cost (bytes; 0
+// is treated as 1). In single-tenant mode both are ignored and the push
+// is exactly the legacy one; in weighted mode the request joins its
+// tenant's sub-queue.
+func (q *Queue) PushT(elems []int, data any, tenant uint8, cost int64) uint64 {
 	it := q.take()
 	it.elems = append(it.elems[:0], elems...)
 	q.seq++
 	it.seq = q.seq
 	it.data = data
+	if cost <= 0 {
+		cost = 1
+	}
+	it.cost = float64(cost)
 	q.length++
+	if q.fair {
+		tq := q.tenantFor(tenant)
+		it.tq = tq
+		tq.length++
+		switch q.policy {
+		case SWTF:
+			heapPushTo(&tq.ready, it)
+		default:
+			it.prev = tq.tail
+			if tq.tail != nil {
+				tq.tail.next = it
+			} else {
+				tq.head = it
+			}
+			tq.tail = it
+		}
+		return it.seq
+	}
 	switch q.policy {
 	case SWTF:
 		// New arrivals enter as candidates; Pop demotes them lazily if
@@ -153,6 +259,9 @@ func (q *Queue) wait(it *item, now sim.Time) sim.Time {
 // Pop removes and returns the payload of the next dispatchable request,
 // or (nil, false) if nothing may dispatch at now. It never allocates.
 func (q *Queue) Pop(now sim.Time) (any, bool) {
+	if q.fair {
+		return q.popFair(now)
+	}
 	if q.policy == SWTF {
 		return q.popSWTF(now)
 	}
@@ -167,6 +276,134 @@ func (q *Queue) Pop(now sim.Time) (any, bool) {
 		q.tail = nil
 	}
 	return q.finishPop(it)
+}
+
+// popFair is the weighted deficit-round-robin dispatch: visit tenants in
+// ring order from the DRR pointer, dispatch the first whose policy head
+// is dispatchable and whose deficit covers its cost; when every
+// dispatchable head is deficit-blocked, refill each such tenant by
+// quantum x weight and rescan. The refill loop terminates because
+// weights are positive, and it returns false only when no tenant has a
+// dispatchable head — the Driver contract. Never allocates.
+func (q *Queue) popFair(now sim.Time) (any, bool) {
+	if q.policy == SWTF {
+		q.releaseFair(now)
+	}
+	n := len(q.tens)
+	if n == 0 {
+		return nil, false
+	}
+	for {
+		blockedOnDeficit := false
+		for i := 0; i < n; i++ {
+			idx := q.rr + i
+			if idx >= n {
+				idx -= n
+			}
+			tq := q.tens[idx]
+			it := q.headFair(tq, now)
+			if it == nil {
+				continue
+			}
+			if tq.deficit >= it.cost {
+				tq.deficit -= it.cost
+				q.rr = idx // keep serving this tenant while its deficit lasts
+				q.removeFair(tq, it)
+				if tq.length == 0 {
+					tq.deficit = 0 // classic DRR: no credit hoarding while idle
+				}
+				return q.finishPop(it)
+			}
+			blockedOnDeficit = true
+		}
+		if !blockedOnDeficit {
+			return nil, false
+		}
+		for _, tq := range q.tens {
+			if q.headFair(tq, now) != nil {
+				tq.deficit += drrQuantum * tq.weight
+			}
+		}
+	}
+}
+
+// headFair returns tenant tq's dispatchable head at now, or nil. Under
+// SWTF it lazily re-parks stale candidates exactly like popSWTF; under
+// FCFS the tenant's arrival head blocks only its own tenant.
+func (q *Queue) headFair(tq *tenantQ, now sim.Time) *item {
+	if q.policy == SWTF {
+		for len(tq.ready) > 0 {
+			it := tq.ready[0]
+			if q.wait(it, now) == 0 {
+				return it
+			}
+			heapRemoveFrom(&tq.ready, it)
+			q.parkFair(tq, it, now)
+		}
+		return nil
+	}
+	if it := tq.head; it != nil && q.wait(it, now) == 0 {
+		return it
+	}
+	return nil
+}
+
+// removeFair detaches a dispatched item from its tenant's index.
+func (q *Queue) removeFair(tq *tenantQ, it *item) {
+	tq.length--
+	if q.policy == SWTF {
+		heapRemoveFrom(&tq.ready, it)
+		return
+	}
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		tq.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		tq.tail = it.prev
+	}
+}
+
+// parkFair parks a non-dispatchable item on its tenant's parked list for
+// the busy element it must wait longest for.
+func (q *Queue) parkFair(tq *tenantQ, it *item, now sim.Time) {
+	worst, horizon := -1, sim.Time(0)
+	for _, e := range it.elems {
+		if b := q.busyUntil[e]; b > now && b > horizon {
+			worst, horizon = e, b
+		}
+	}
+	it.parkedOn = worst
+	it.prev = nil
+	it.next = tq.blocked[worst]
+	if it.next != nil {
+		it.next.prev = it
+	}
+	tq.blocked[worst] = it
+}
+
+// releaseFair processes due wake records across every tenant's parked
+// lists.
+func (q *Queue) releaseFair(now sim.Time) {
+	for len(q.wakes) > 0 && q.wakes[0].at <= now {
+		w := q.popWake()
+		if q.busyUntil[w.elem] > now {
+			continue
+		}
+		for _, tq := range q.tens {
+			for it := tq.blocked[w.elem]; it != nil; {
+				next := it.next
+				it.prev, it.next = nil, nil
+				it.parkedOn = -1
+				heapPushTo(&tq.ready, it)
+				it = next
+			}
+			tq.blocked[w.elem] = nil
+		}
+	}
 }
 
 func (q *Queue) popSWTF(now sim.Time) (any, bool) {
@@ -257,6 +494,25 @@ func (q *Queue) Drain(visit func(seq uint64, elems []int, data any)) {
 		}
 		q.blocked[e] = nil
 	}
+	for _, tq := range q.tens {
+		for it := tq.head; it != nil; it = it.next {
+			items = append(items, it)
+		}
+		tq.head, tq.tail = nil, nil
+		items = append(items, tq.ready...)
+		for i := range tq.ready {
+			tq.ready[i] = nil
+		}
+		tq.ready = tq.ready[:0]
+		for e, it := range tq.blocked {
+			for ; it != nil; it = it.next {
+				items = append(items, it)
+			}
+			tq.blocked[e] = nil
+		}
+		tq.length = 0
+		tq.deficit = 0
+	}
 	q.wakes = q.wakes[:0]
 	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
 	for _, it := range items {
@@ -279,6 +535,8 @@ func (q *Queue) take() *item {
 
 func (q *Queue) put(it *item) {
 	it.data = nil // release the payload to the collector
+	it.tq = nil
+	it.cost = 0
 	it.prev = nil
 	it.heapIdx = -1
 	it.parkedOn = -1
@@ -287,55 +545,62 @@ func (q *Queue) put(it *item) {
 }
 
 // ---- Seq-keyed candidate heap ----
+//
+// The heap functions operate on any candidate slice so the single-tenant
+// queue and every tenant sub-queue share one implementation.
 
-func (q *Queue) heapPush(it *item) {
-	it.heapIdx = len(q.ready)
-	q.ready = append(q.ready, it)
-	q.siftUp(it.heapIdx)
+func (q *Queue) heapPush(it *item)   { heapPushTo(&q.ready, it) }
+func (q *Queue) heapRemove(it *item) { heapRemoveFrom(&q.ready, it) }
+
+func heapPushTo(h *[]*item, it *item) {
+	it.heapIdx = len(*h)
+	*h = append(*h, it)
+	siftUp(*h, it.heapIdx)
 }
 
-func (q *Queue) heapRemove(it *item) {
+func heapRemoveFrom(h *[]*item, it *item) {
+	ready := *h
 	i := it.heapIdx
-	last := len(q.ready) - 1
-	q.ready[i] = q.ready[last]
-	q.ready[i].heapIdx = i
-	q.ready[last] = nil
-	q.ready = q.ready[:last]
+	last := len(ready) - 1
+	ready[i] = ready[last]
+	ready[i].heapIdx = i
+	ready[last] = nil
+	*h = ready[:last]
 	if i < last {
-		q.siftDown(i)
-		q.siftUp(i)
+		siftDown(ready[:last], i)
+		siftUp(ready[:last], i)
 	}
 	it.heapIdx = -1
 }
 
-func (q *Queue) siftUp(i int) {
+func siftUp(ready []*item, i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if q.ready[p].seq <= q.ready[i].seq {
+		if ready[p].seq <= ready[i].seq {
 			return
 		}
-		q.ready[p], q.ready[i] = q.ready[i], q.ready[p]
-		q.ready[p].heapIdx, q.ready[i].heapIdx = p, i
+		ready[p], ready[i] = ready[i], ready[p]
+		ready[p].heapIdx, ready[i].heapIdx = p, i
 		i = p
 	}
 }
 
-func (q *Queue) siftDown(i int) {
-	n := len(q.ready)
+func siftDown(ready []*item, i int) {
+	n := len(ready)
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < n && q.ready[l].seq < q.ready[min].seq {
+		if l < n && ready[l].seq < ready[min].seq {
 			min = l
 		}
-		if r < n && q.ready[r].seq < q.ready[min].seq {
+		if r < n && ready[r].seq < ready[min].seq {
 			min = r
 		}
 		if min == i {
 			return
 		}
-		q.ready[i], q.ready[min] = q.ready[min], q.ready[i]
-		q.ready[i].heapIdx, q.ready[min].heapIdx = i, min
+		ready[i], ready[min] = ready[min], ready[i]
+		ready[i].heapIdx, ready[min].heapIdx = i, min
 		i = min
 	}
 }

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"ossd/internal/sim"
+)
+
+// TestQueueFairSingleTenantEquivalence is the tenancy refactor's
+// determinism contract: with exactly one tenant class in play, weighted
+// DRR degenerates to the base policy, so an engaged fair-share layer
+// must reproduce the legacy dispatch sequence op-for-op — both
+// policies, randomized workloads, whether the traffic is tagged or
+// rides the tenant-0 default.
+func TestQueueFairSingleTenantEquivalence(t *testing.T) {
+	const elements = 4
+	for _, policy := range []Policy{FCFS, SWTF} {
+		for _, tenant := range []uint8{0, 5} {
+			t.Run(policy.String(), func(t *testing.T) {
+				for trial := 0; trial < 10; trial++ {
+					rng := rand.New(rand.NewSource(int64(trial)*100 + int64(policy) + int64(tenant)))
+					fair := NewQueue(policy, elements)
+					fair.SetTenantWeight(tenant, 2.5)
+					plain := NewQueue(policy, elements)
+					elemsOf := map[int][]int{}
+					now := sim.Time(0)
+					id := 0
+					for step := 0; step < 300; step++ {
+						for n := rng.Intn(4); n > 0; n-- {
+							k := 1 + rng.Intn(3)
+							perm := rng.Perm(elements)[:k]
+							elemsOf[id] = perm
+							fair.PushT(perm, id, tenant, int64(4096*(1+id%8)))
+							plain.Push(perm, id)
+							id++
+						}
+						for {
+							got, ok := fair.Pop(now)
+							want, wok := plain.Pop(now)
+							if ok != wok {
+								t.Fatalf("trial %d step %d: fair ok=%v plain ok=%v", trial, step, ok, wok)
+							}
+							if !ok {
+								break
+							}
+							if got.(int) != want.(int) {
+								t.Fatalf("trial %d step %d: fair dispatched %v, plain %v", trial, step, got, want)
+							}
+							for _, e := range elemsOf[got.(int)] {
+								until := now + serviceTime(got.(int), e)
+								fair.SetBusy(e, until)
+								plain.SetBusy(e, until)
+							}
+						}
+						now += sim.Time(1 + rng.Intn(20))
+					}
+					if fair.Len() != plain.Len() {
+						t.Fatalf("trial %d: fair len %d, plain %d", trial, fair.Len(), plain.Len())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueueFairShareBytes pins the DRR arithmetic: two tenants with a
+// continuously backlogged single element and weights 1:3 split the
+// dispatched bytes 1:3 (within one quantum of slack).
+func TestQueueFairShareBytes(t *testing.T) {
+	for _, policy := range []Policy{FCFS, SWTF} {
+		t.Run(policy.String(), func(t *testing.T) {
+			q := NewQueue(policy, 1)
+			q.SetTenantWeight(1, 1)
+			q.SetTenantWeight(2, 3)
+			const opBytes = 8 << 10
+			elems := []int{0}
+			backlog := func(tenant uint8, n int) {
+				for i := 0; i < n; i++ {
+					q.PushT(elems, int(tenant), tenant, opBytes)
+				}
+			}
+			backlog(1, 4096)
+			backlog(2, 4096)
+			bytesOf := map[int]int64{}
+			now := sim.Time(0)
+			for i := 0; i < 4000; i++ {
+				data, ok := q.Pop(now)
+				if !ok {
+					t.Fatalf("pop %d: backlogged queue stalled", i)
+				}
+				bytesOf[data.(int)] += opBytes
+				q.SetBusy(0, now+1)
+				now++
+			}
+			ratio := float64(bytesOf[2]) / float64(bytesOf[1])
+			if ratio < 2.8 || ratio > 3.2 {
+				t.Fatalf("dispatched bytes tenant2/tenant1 = %.2f (t1=%d t2=%d), want ~3",
+					ratio, bytesOf[1], bytesOf[2])
+			}
+		})
+	}
+}
+
+// TestQueueFairWorkConserving: fair-share never idles the device to
+// honor a share — when one tenant's head is blocked on a busy element,
+// another tenant's dispatchable work proceeds regardless of deficits.
+func TestQueueFairWorkConserving(t *testing.T) {
+	q := NewQueue(SWTF, 2)
+	q.SetTenantWeight(1, 100) // heavy tenant, but blocked below
+	q.SetTenantWeight(2, 1)
+	q.SetBusy(0, 1000)
+	q.PushT([]int{0}, "heavy", 1, 4096)
+	q.PushT([]int{1}, "light", 2, 4096)
+	if data, ok := q.Pop(0); !ok || data != "light" {
+		t.Fatalf("Pop = %v, %v, want light (work conservation)", data, ok)
+	}
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("dispatched onto a busy element")
+	}
+	if data, ok := q.Pop(1000); !ok || data != "heavy" {
+		t.Fatalf("Pop = %v, %v, want heavy after horizon", data, ok)
+	}
+}
+
+// TestQueueFairDrain: Drain visits fair-mode sub-queues too, in global
+// arrival order, and the queue stays usable.
+func TestQueueFairDrain(t *testing.T) {
+	for _, policy := range []Policy{FCFS, SWTF} {
+		t.Run(policy.String(), func(t *testing.T) {
+			q := NewQueue(policy, 2)
+			q.SetTenantWeight(1, 1)
+			q.SetTenantWeight(2, 2)
+			q.SetBusy(1, 100)
+			for i := 0; i < 8; i++ {
+				q.PushT([]int{i % 2}, i, uint8(1+i%2), 4096)
+			}
+			if policy == SWTF {
+				q.Pop(0) // move some items through the ready/parked indexes
+			}
+			for q.Len() < 8 {
+				q.PushT([]int{1}, 100+q.Len(), 1, 4096)
+			}
+			var seqs []uint64
+			q.Drain(func(seq uint64, elems []int, data any) { seqs = append(seqs, seq) })
+			if q.Len() != 0 {
+				t.Fatalf("queue holds %d items after Drain", q.Len())
+			}
+			if len(seqs) != 8 {
+				t.Fatalf("Drain visited %d items, want 8", len(seqs))
+			}
+			for i := 1; i < len(seqs); i++ {
+				if seqs[i] <= seqs[i-1] {
+					t.Fatalf("Drain out of order: %v", seqs)
+				}
+			}
+			q.PushT([]int{0}, "post", 1, 4096)
+			if data, ok := q.Pop(1000); !ok || data != "post" {
+				t.Fatal("post-drain push/pop broken")
+			}
+		})
+	}
+}
+
+// TestQueuePopAllocFreeFair extends the allocation contract to the
+// weighted pick path: a warm fair-share dispatch cycle across several
+// tenants allocates nothing.
+func TestQueuePopAllocFreeFair(t *testing.T) {
+	const elements = 8
+	type req struct{ elem int }
+	q := NewQueue(SWTF, elements)
+	q.SetTenantWeight(1, 1)
+	q.SetTenantWeight(2, 4)
+	q.SetTenantWeight(3, 2)
+	elems := make([][]int, elements)
+	reqs := make([]*req, elements)
+	for e := 0; e < elements; e++ {
+		elems[e] = []int{e}
+		reqs[e] = &req{elem: e}
+	}
+	for i := 0; i < 1024; i++ {
+		q.PushT(elems[i%elements], reqs[i%elements], uint8(1+i%3), 4096)
+	}
+	now := sim.Time(0)
+	i := 1024
+	allocs := testing.AllocsPerRun(10000, func() {
+		data, ok := q.Pop(now)
+		if !ok {
+			t.Fatal("steady-state pop failed")
+		}
+		e := data.(*req).elem
+		q.SetBusy(e, now+1)
+		q.PushT(elems[i%elements], reqs[i%elements], uint8(1+i%3), 4096)
+		i++
+		now++
+	})
+	if allocs > 0 {
+		t.Fatalf("fair dispatch cycle allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -87,6 +87,7 @@ func (m *Manager) completeCached(job *Job, payload []byte, source string) {
 	job.cond.Broadcast()
 	job.mu.Unlock()
 	m.completed.Add(1)
+	m.tenantAdd(job.Spec.Tenant, func(c *tenantCounter) { c.completed++ })
 }
 
 // failWaiter fails a coalesced waiter with its primary's error (no-op
@@ -107,4 +108,5 @@ func (m *Manager) failWaiter(job *Job, err error) {
 	job.cond.Broadcast()
 	job.mu.Unlock()
 	m.failed.Add(1)
+	m.tenantAdd(job.Spec.Tenant, func(c *tenantCounter) { c.failed++ })
 }

@@ -88,8 +88,8 @@ func (m *Manager) Handler() http.Handler {
 		if err != nil {
 			status := http.StatusBadRequest
 			switch {
-			case errors.Is(err, ErrShed):
-				// Shed mode: an explicit "the fleet is full, go away"
+			case errors.Is(err, ErrShed), errors.Is(err, ErrTenantQuota):
+				// Shed mode and tenant quotas: an explicit "go away"
 				// beats queueing the caller behind the overload.
 				status = http.StatusTooManyRequests
 			case errors.Is(err, runner.ErrPoolSaturated), errors.Is(err, runner.ErrPoolClosed):
@@ -289,7 +289,7 @@ func (m *Manager) Handler() http.Handler {
 		if err != nil {
 			status := http.StatusBadRequest
 			switch {
-			case errors.Is(err, ErrShed):
+			case errors.Is(err, ErrShed), errors.Is(err, ErrTenantQuota):
 				status = http.StatusTooManyRequests
 			case errors.Is(err, runner.ErrPoolSaturated), errors.Is(err, runner.ErrPoolClosed):
 				status = http.StatusServiceUnavailable

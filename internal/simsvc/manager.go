@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,14 @@ type Options struct {
 	// that owner, and payloads stay byte-identical no matter which node
 	// answers. Nil runs the cache single-process as before.
 	Tier *TierConfig
+	// TenantQuotas caps how many jobs each submitting tenant class
+	// (JobSpec.Tenant) may have occupying the worker pool — queued or
+	// running — at once. A submit past the tenant's quota is rejected
+	// with ErrTenantQuota (HTTP 429) and counted in /statsz, so one
+	// tenant's burst cannot monopolize the pool. Tenants absent from the
+	// map (including tenant 0) are unquotaed. Cached completions never
+	// occupy the pool, so they are admitted regardless.
+	TenantQuotas map[uint8]int
 }
 
 // Job is one submitted simulation and everything observable about it.
@@ -177,6 +186,13 @@ type Manager struct {
 	coalesced atomic.Uint64 // single-flight waiters collapsed onto a primary
 	shedCt    atomic.Uint64 // submits rejected by shed mode
 
+	// tenantMu guards tenantCt, the per-tenant job counters surfaced in
+	// /statsz. Only nonzero tenants are tracked: tenant 0 is the legacy
+	// untenanted default and stays out of the per-tenant view, the same
+	// convention trace.Stats uses.
+	tenantMu sync.Mutex
+	tenantCt map[uint8]*tenantCounter
+
 	// aggMu guards the duration aggregates: queue wait is recorded when
 	// a worker picks a job up, run duration when a simulation completes.
 	// Cache hits never run, so they appear in neither.
@@ -202,12 +218,13 @@ func New(opts Options) *Manager {
 		opts.RetainJobs = 1024
 	}
 	m := &Manager{
-		opts:    opts,
-		pool:    runner.NewPool(opts.Workers, opts.Backlog),
-		cache:   newCache(opts.CacheEntries),
-		jobs:    map[string]*Job{},
-		flights: map[uint64]*flight{},
-		expSem:  make(chan struct{}, 1),
+		opts:     opts,
+		pool:     runner.NewPool(opts.Workers, opts.Backlog),
+		cache:    newCache(opts.CacheEntries),
+		jobs:     map[string]*Job{},
+		flights:  map[uint64]*flight{},
+		expSem:   make(chan struct{}, 1),
+		tenantCt: map[uint8]*tenantCounter{},
 	}
 	if opts.Tier != nil {
 		m.tier = newTier(*opts.Tier)
@@ -219,6 +236,52 @@ func New(opts Options) *Manager {
 // full: the service rejects explicitly (HTTP 429) instead of letting
 // the caller queue behind the overload. Counted in /statsz.
 var ErrShed = errors.New("simsvc: shedding load (pool backlog full)")
+
+// ErrTenantQuota is returned by Submit when the spec's tenant already
+// has its quota of jobs occupying the worker pool (Options.TenantQuotas).
+// Counted per tenant in /statsz.
+var ErrTenantQuota = errors.New("simsvc: tenant quota exceeded")
+
+// tenantCounter accumulates one tenant's job counters.
+type tenantCounter struct {
+	submitted, completed, failed, quotaRejected int64
+}
+
+// tenantAdd applies f to tenant t's counter. Tenant 0 (untenanted) is
+// not tracked.
+func (m *Manager) tenantAdd(t uint8, f func(*tenantCounter)) {
+	if t == 0 {
+		return
+	}
+	m.tenantMu.Lock()
+	c := m.tenantCt[t]
+	if c == nil {
+		c = &tenantCounter{}
+		m.tenantCt[t] = c
+	}
+	f(c)
+	m.tenantMu.Unlock()
+}
+
+// tenantInFlight counts tenant t's jobs occupying the pool: submitted
+// and not yet terminal. Cached completions are terminal at submit and
+// never counted.
+func (m *Manager) tenantInFlight(t uint8) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, job := range m.jobs {
+		if job.Spec.Tenant != t {
+			continue
+		}
+		job.mu.Lock()
+		if !job.status.terminal() {
+			n++
+		}
+		job.mu.Unlock()
+	}
+	return n
+}
 
 // Submit validates a spec and enqueues it, returning the job record. A
 // cache hit completes the job immediately — no worker, no simulation —
@@ -240,6 +303,13 @@ func (m *Manager) submit(spec JobSpec, allowPeer bool) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if q, ok := m.opts.TenantQuotas[spec.Tenant]; ok && q > 0 {
+		if n := m.tenantInFlight(spec.Tenant); n >= q {
+			m.tenantAdd(spec.Tenant, func(c *tenantCounter) { c.quotaRejected++ })
+			return nil, fmt.Errorf("%w: tenant %d has %d jobs in flight (quota %d)",
+				ErrTenantQuota, spec.Tenant, n, q)
+		}
+	}
 	identity := spec.Canonical()
 	job := &Job{
 		Spec:      spec,
@@ -259,6 +329,7 @@ func (m *Manager) submit(spec JobSpec, allowPeer bool) (*Job, error) {
 	m.evictLocked()
 	m.mu.Unlock()
 	m.submitted.Add(1)
+	m.tenantAdd(spec.Tenant, func(c *tenantCounter) { c.submitted++ })
 
 	primary, settled := m.joinOrStartFlight(job)
 	if settled || !primary {
@@ -292,6 +363,7 @@ func (m *Manager) submit(spec JobSpec, allowPeer bool) (*Job, error) {
 		}
 		m.mu.Unlock()
 		m.failed.Add(1)
+		m.tenantAdd(spec.Tenant, func(c *tenantCounter) { c.failed++ })
 		return nil, err
 	}
 	return job, nil
@@ -382,6 +454,7 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 	if err != nil {
 		job.fail(err)
 		m.failed.Add(1)
+		m.tenantAdd(job.Spec.Tenant, func(c *tenantCounter) { c.failed++ })
 		m.resolveFlight(job.key, nil, err)
 		return
 	}
@@ -389,6 +462,7 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 	if err != nil {
 		job.fail(err)
 		m.failed.Add(1)
+		m.tenantAdd(job.Spec.Tenant, func(c *tenantCounter) { c.failed++ })
 		m.resolveFlight(job.key, nil, err)
 		return
 	}
@@ -411,6 +485,7 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 	m.runDur.Add(float64(run) / float64(time.Millisecond))
 	m.aggMu.Unlock()
 	m.completed.Add(1)
+	m.tenantAdd(job.Spec.Tenant, func(c *tenantCounter) { c.completed++ })
 }
 
 // simulate is the deterministic part of run: everything that feeds the
@@ -427,6 +502,9 @@ func (m *Manager) simulate(ctx context.Context, job *Job) (Result, error) {
 	if spec.Fault != nil {
 		opts = append(opts, core.WithFault(spec.Fault))
 	}
+	if w := spec.tenantWeights(); w != nil {
+		opts = append(opts, core.WithTenantWeights(w))
+	}
 	dev, err := core.Open(spec.Profile, opts...)
 	if err != nil {
 		return Result{}, err
@@ -439,7 +517,12 @@ func (m *Manager) simulate(ctx context.Context, job *Job) (Result, error) {
 			return Result{}, err
 		}
 	}
-	stream, err := workload.NewStream(spec.Workload, spec.Params)
+	var stream trace.Stream
+	if len(spec.Tenants) > 0 {
+		stream, err = spec.tenantStream()
+	} else {
+		stream, err = workload.NewStream(spec.Workload, spec.Params)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -513,6 +596,7 @@ func (m *Manager) Cancel(id string) (bool, error) {
 		job.finished = time.Now()
 		job.cond.Broadcast()
 		m.failed.Add(1)
+		m.tenantAdd(job.Spec.Tenant, func(c *tenantCounter) { c.failed++ })
 	}
 	job.mu.Unlock()
 	if !live {
@@ -647,6 +731,26 @@ type Stats struct {
 	// Campaigns is the campaign subsystem's counters when one is
 	// attached (SetCampaignStats), absent otherwise.
 	Campaigns any `json:"campaigns,omitempty"`
+	// Tenants are the per-tenant job counters, in tenant order, one entry
+	// per nonzero tenant class that has submitted (or been quota-rejected)
+	// since startup. Absent while every job is untenanted, so the legacy
+	// /statsz payload is unchanged.
+	Tenants []TenantJobStats `json:"tenants,omitempty"`
+}
+
+// TenantJobStats is one tenant class's job counters (GET /statsz).
+type TenantJobStats struct {
+	Tenant    int   `json:"tenant"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// InFlight counts the tenant's jobs currently occupying the pool
+	// (queued or running) — the number the tenant's quota bounds.
+	InFlight int `json:"in_flight"`
+	// QuotaRejected counts submits refused with ErrTenantQuota.
+	QuotaRejected int64 `json:"quota_rejected"`
+	// Quota echoes the tenant's configured in-flight cap (0 = none).
+	Quota int `json:"quota,omitempty"`
 }
 
 // Stats reports the manager's counters.
@@ -677,7 +781,38 @@ func (m *Manager) Stats() Stats {
 	if campaigns != nil {
 		s.Campaigns = campaigns()
 	}
+	s.Tenants = m.tenantStats()
 	return s
+}
+
+// tenantStats snapshots the per-tenant counters in tenant order.
+func (m *Manager) tenantStats() []TenantJobStats {
+	m.tenantMu.Lock()
+	ids := make([]int, 0, len(m.tenantCt))
+	for t := range m.tenantCt {
+		ids = append(ids, int(t))
+	}
+	sort.Ints(ids)
+	out := make([]TenantJobStats, 0, len(ids))
+	for _, id := range ids {
+		c := m.tenantCt[uint8(id)]
+		out = append(out, TenantJobStats{
+			Tenant:        id,
+			Submitted:     c.submitted,
+			Completed:     c.completed,
+			Failed:        c.failed,
+			QuotaRejected: c.quotaRejected,
+			Quota:         m.opts.TenantQuotas[uint8(id)],
+		})
+	}
+	m.tenantMu.Unlock()
+	for i := range out {
+		out[i].InFlight = m.tenantInFlight(uint8(out[i].Tenant))
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Workers reports the worker-pool size, the fan-out a campaign's ETA

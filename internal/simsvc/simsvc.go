@@ -130,6 +130,27 @@ func (o ProfileOptions) build() ([]core.Option, error) {
 	return opts, nil
 }
 
+// TenantSpec is one tenant's share of a multi-tenant simulation: which
+// generator drives it, how its arrivals are shaped, and how much of the
+// device's dispatch bandwidth it is entitled to.
+type TenantSpec struct {
+	// Tenant is the class ID (1-255; 0 is reserved for untagged ops).
+	Tenant uint8 `json:"tenant"`
+	// Workload names this tenant's generator; empty inherits the job's.
+	Workload string `json:"workload,omitempty"`
+	// Params parameterizes the tenant's generator; nil inherits the
+	// job's. Give tenants distinct seeds for independent streams.
+	Params *workload.GenParams `json:"params,omitempty"`
+	// Weight is the tenant's fair-share dispatch weight. Any positive
+	// weight in the array engages weighted deficit-round-robin on the
+	// device queue (flash profiles only; tenants left at 0 weigh 1);
+	// all-zero weights leave dispatch in legacy single-tenant mode.
+	Weight float64 `json:"weight,omitempty"`
+	// Modulation shapes the tenant's arrivals (bursty, diurnal, or a
+	// plain rate scale); nil passes the generator's timing through.
+	Modulation *trace.Modulation `json:"modulation,omitempty"`
+}
+
 // JobSpec is one simulation request: which device, how it is tuned,
 // which workload drives it, and how far. Specs are the cache identity —
 // two equal specs produce byte-identical results.
@@ -142,6 +163,19 @@ type JobSpec struct {
 	Workload string `json:"workload"`
 	// Params parameterizes the generator, including the seed.
 	Params workload.GenParams `json:"params"`
+	// Tenant is the submitting tenant class (0 = untenanted): the service
+	// counts this tenant's jobs in /statsz and enforces its in-flight
+	// quota (Options.TenantQuotas) at submit. Like Shards, it is an
+	// execution knob, not a simulation parameter, so it is excluded from
+	// the cache identity — tenants share byte-identical cached results.
+	Tenant uint8 `json:"tenant,omitempty"`
+	// Tenants, when non-empty, makes the simulated workload multi-tenant:
+	// each entry's stream is tagged with its tenant ID, shaped by its
+	// modulation, and interleaved into one timestamp-ordered arrival
+	// stream (trace.MergeTenants). Positive weights additionally engage
+	// fair-share dispatch on the device queue. Empty runs the legacy
+	// single-stream workload.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
 	// OpLimit caps the stream (0 = drive it to exhaustion).
 	OpLimit int `json:"op_limit,omitempty"`
 	// PreconditionFrac fills this fraction of the device before the
@@ -161,21 +195,43 @@ type JobSpec struct {
 // The campaign subsystem also calls it per expanded cell, so a bad axis
 // value rejects the whole campaign before anything is enqueued.
 func (s *JobSpec) Validate() error {
-	if _, err := core.ProfileByName(s.Profile); err != nil {
+	prof, err := core.ProfileByName(s.Profile)
+	if err != nil {
 		return err
 	}
-	ok := false
-	for _, name := range workload.Generators() {
-		if name == s.Workload {
-			ok = true
-			break
-		}
-	}
-	if !ok {
+	if !knownWorkload(s.Workload) {
 		return fmt.Errorf("simsvc: unknown workload %q (have %v)", s.Workload, workload.Generators())
 	}
 	if _, err := s.Options.build(); err != nil {
 		return err
+	}
+	seen := map[uint8]bool{}
+	weighted := false
+	for i, ts := range s.Tenants {
+		if ts.Tenant == 0 {
+			return fmt.Errorf("simsvc: tenants[%d] has tenant 0 (reserved for untagged ops)", i)
+		}
+		if seen[ts.Tenant] {
+			return fmt.Errorf("simsvc: duplicate tenant %d", ts.Tenant)
+		}
+		seen[ts.Tenant] = true
+		if ts.Workload != "" && !knownWorkload(ts.Workload) {
+			return fmt.Errorf("simsvc: tenant %d: unknown workload %q", ts.Tenant, ts.Workload)
+		}
+		if ts.Weight < 0 {
+			return fmt.Errorf("simsvc: tenant %d: negative weight %v", ts.Tenant, ts.Weight)
+		}
+		if ts.Weight > 0 {
+			weighted = true
+		}
+		if ts.Modulation != nil {
+			if err := ts.Modulation.Validate(); err != nil {
+				return fmt.Errorf("simsvc: tenant %d: %w", ts.Tenant, err)
+			}
+		}
+	}
+	if weighted && prof.Kind != core.KindSSD && prof.Kind != core.KindOSD {
+		return fmt.Errorf("simsvc: tenant weights need a flash profile, %q is %s", s.Profile, prof.Kind)
 	}
 	if s.OpLimit < 0 {
 		return fmt.Errorf("simsvc: negative op limit %d", s.OpLimit)
@@ -189,6 +245,57 @@ func (s *JobSpec) Validate() error {
 	return nil
 }
 
+// knownWorkload reports whether name is a registered generator.
+func knownWorkload(name string) bool {
+	for _, have := range workload.Generators() {
+		if have == name {
+			return true
+		}
+	}
+	return false
+}
+
+// tenantWeights collects the spec's positive fair-share weights; nil
+// when no tenant sets one (legacy dispatch).
+func (s JobSpec) tenantWeights() map[uint8]float64 {
+	var w map[uint8]float64
+	for _, ts := range s.Tenants {
+		if ts.Weight > 0 {
+			if w == nil {
+				w = map[uint8]float64{}
+			}
+			w[ts.Tenant] = ts.Weight
+		}
+	}
+	return w
+}
+
+// tenantStream builds the multi-tenant arrival stream: one generator
+// stream per tenant, tagged, shaped, and merged in timestamp order.
+func (s JobSpec) tenantStream() (trace.Stream, error) {
+	srcs := make([]trace.TenantStream, 0, len(s.Tenants))
+	for _, ts := range s.Tenants {
+		name := ts.Workload
+		if name == "" {
+			name = s.Workload
+		}
+		params := s.Params
+		if ts.Params != nil {
+			params = *ts.Params
+		}
+		st, err := workload.NewStream(name, params)
+		if err != nil {
+			return nil, err
+		}
+		src := trace.TenantStream{Tenant: ts.Tenant, Stream: st}
+		if ts.Modulation != nil {
+			src.Mod = *ts.Modulation
+		}
+		srcs = append(srcs, src)
+	}
+	return trace.MergeTenants(srcs)
+}
+
 // Canonical is the spec's cache identity: its canonical JSON encoding
 // (struct fields marshal in declaration order, so equal specs encode
 // equally). The identity bytes — not the 64-bit hash of them — are what
@@ -199,8 +306,11 @@ func (s JobSpec) Canonical() []byte {
 	// Sharding is an execution knob, not a simulation parameter: the
 	// parallel dataplane is byte-identical to the single engine, so a
 	// spec's identity must not depend on it (a sharded run warms the
-	// cache for single-engine requests and vice versa). s is a copy.
+	// cache for single-engine requests and vice versa). The submitting
+	// tenant is likewise an admission-control identity, not a simulation
+	// parameter, so tenants share cached results. s is a copy.
 	s.Options.Shards = 0
+	s.Tenant = 0
 	canonical, err := json.Marshal(s)
 	if err != nil {
 		// Specs are plain data; Marshal cannot fail on them.

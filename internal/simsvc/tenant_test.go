@@ -1,0 +1,274 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ossd/internal/trace"
+)
+
+// tenantSpec is smallSpec made multi-tenant: the workload splits across
+// two tenant classes with distinct seeds so each contributes real ops.
+func tenantSpec(ops int, seed int64, w1, w2 float64) JobSpec {
+	spec := smallSpec(ops, seed)
+	p1, p2 := spec.Params, spec.Params
+	p1.Seed = seed
+	p2.Seed = seed + 1
+	spec.Tenants = []TenantSpec{
+		{Tenant: 1, Params: &p1, Weight: w1},
+		{Tenant: 2, Params: &p2, Weight: w2},
+	}
+	return spec
+}
+
+// TestTenantJobSnapshot drives a weighted two-tenant job end to end and
+// checks the result carries per-tenant sub-snapshots that sum to the
+// device totals.
+func TestTenantJobSnapshot(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 1000})
+	defer m.Close()
+
+	job, err := m.Submit(tenantSpec(40_000, 1, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("status %s (error %q), want done", view.Status, view.Error)
+	}
+	var res Result
+	if err := json.Unmarshal(view.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snapshot
+	if len(snap.Tenants) != 2 || snap.Tenants[0].Tenant != 1 || snap.Tenants[1].Tenant != 2 {
+		t.Fatalf("tenant sub-snapshots: %+v", snap.Tenants)
+	}
+	var ops, bytesTotal int64
+	for _, ts := range snap.Tenants {
+		if ts.Reads+ts.Writes == 0 {
+			t.Errorf("tenant %d drove no ops", ts.Tenant)
+		}
+		if ts.P99ReadMs < ts.P50ReadMs {
+			t.Errorf("tenant %d: implausible percentiles %+v", ts.Tenant, ts)
+		}
+		ops += ts.Reads + ts.Writes
+		bytesTotal += ts.BytesRead + ts.BytesWritten
+	}
+	if ops != snap.Completed-snap.Frees {
+		t.Errorf("tenant ops %d != completed-frees %d", ops, snap.Completed-snap.Frees)
+	}
+	if bytesTotal != snap.BytesRead+snap.BytesWritten {
+		t.Errorf("tenant bytes %d != device bytes %d", bytesTotal, snap.BytesRead+snap.BytesWritten)
+	}
+}
+
+// TestTenantSpecValidate pins the tenancy validation rules: weighted
+// mixes need a queue-scheduling device (flash), duplicate and zero
+// tenant IDs are rejected, unweighted mixes run anywhere.
+func TestTenantSpecValidate(t *testing.T) {
+	weightedHDD := tenantSpec(1000, 1, 1, 4)
+	weightedHDD.Profile = "hdd"
+	if err := weightedHDD.Validate(); err == nil {
+		t.Error("weighted tenants on hdd passed validation")
+	}
+	unweightedHDD := tenantSpec(1000, 1, 0, 0)
+	unweightedHDD.Profile = "hdd"
+	if err := unweightedHDD.Validate(); err != nil {
+		t.Errorf("unweighted tenants on hdd rejected: %v", err)
+	}
+	dup := tenantSpec(1000, 1, 1, 1)
+	dup.Tenants[1].Tenant = 1
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate tenant ID passed validation")
+	}
+	zero := tenantSpec(1000, 1, 1, 1)
+	zero.Tenants[0].Tenant = 0
+	if err := zero.Validate(); err == nil {
+		t.Error("tenant 0 in the mix passed validation")
+	}
+	badMod := tenantSpec(1000, 1, 1, 1)
+	badMod.Tenants[0].Modulation = &trace.Modulation{Kind: "bogus"}
+	if err := badMod.Validate(); err == nil {
+		t.Error("bad modulation passed validation")
+	}
+}
+
+// TestTenantCacheIdentity pins what tenancy does to the cache key: the
+// submitting principal (JobSpec.Tenant) is an execution attribute and
+// must not fragment the cache, while the tenant mix (JobSpec.Tenants)
+// changes the simulated workload and must.
+func TestTenantCacheIdentity(t *testing.T) {
+	a := smallSpec(1000, 1)
+	b := smallSpec(1000, 1)
+	b.Tenant = 9
+	if a.Key() != b.Key() {
+		t.Error("submitting tenant fragments the cache key")
+	}
+	c := tenantSpec(1000, 1, 1, 1)
+	d := tenantSpec(1000, 1, 1, 4)
+	if c.Key() == a.Key() {
+		t.Error("tenant mix does not change the cache key")
+	}
+	if c.Key() == d.Key() {
+		t.Error("tenant weights do not change the cache key")
+	}
+}
+
+// TestTenantQuota exercises the in-flight quota: with one worker and a
+// quota of 1, a tenant's second concurrent job is refused with
+// ErrTenantQuota (HTTP 429), and admission reopens once the first job
+// is terminal. Tenants without quotas are unaffected.
+func TestTenantQuota(t *testing.T) {
+	m := New(Options{Workers: 1, SampleEvery: 1000, TenantQuotas: map[uint8]int{7: 1}})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	long := smallSpec(400_000, 42)
+	long.Tenant = 7
+	first, err := m.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	over := smallSpec(1000, 43)
+	over.Tenant = 7
+	if _, err := m.Submit(over); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("second in-flight job: err %v, want ErrTenantQuota", err)
+	}
+	// Over HTTP the rejection is 429 Too Many Requests.
+	body, _ := json.Marshal(over)
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota rejection over HTTP: %d, want 429", resp.StatusCode)
+	}
+	// Another tenant (and the untenanted default) are not quotaed.
+	other := smallSpec(1000, 44)
+	other.Tenant = 8
+	if _, err := m.Submit(other); err != nil {
+		t.Fatalf("unquotaed tenant refused: %v", err)
+	}
+	if _, err := m.Submit(smallSpec(1000, 45)); err != nil {
+		t.Fatalf("untenanted submit refused: %v", err)
+	}
+
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Quota frees with the terminal transition: same spec resubmits as a
+	// cache hit and even a fresh simulation is admitted again.
+	if _, err := m.Submit(over); err != nil {
+		t.Fatalf("post-completion submit refused: %v", err)
+	}
+
+	st := m.Stats()
+	var t7 *TenantJobStats
+	for i := range st.Tenants {
+		if st.Tenants[i].Tenant == 7 {
+			t7 = &st.Tenants[i]
+		}
+	}
+	if t7 == nil {
+		t.Fatalf("tenant 7 missing from stats: %+v", st.Tenants)
+	}
+	// One manager rejection + one HTTP rejection; the echo of the
+	// configured quota rides along.
+	if t7.QuotaRejected != 2 || t7.Quota != 1 {
+		t.Errorf("tenant 7 stats: %+v, want quota_rejected=2 quota=1", t7)
+	}
+	if t7.Submitted < 2 {
+		t.Errorf("tenant 7 submitted %d, want >= 2", t7.Submitted)
+	}
+}
+
+// TestTenantStatsCounters checks the /statsz per-tenant counters track
+// terminal outcomes and that untenanted traffic stays out of the view.
+func TestTenantStatsCounters(t *testing.T) {
+	m := New(Options{Workers: 2, SampleEvery: 1000})
+	defer m.Close()
+
+	if st := m.Stats(); st.Tenants != nil {
+		t.Fatalf("fresh manager has tenant stats: %+v", st.Tenants)
+	}
+	// Untenanted jobs never create entries.
+	job, err := m.Submit(smallSpec(1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Tenants != nil {
+		t.Fatalf("untenanted job created tenant stats: %+v", st.Tenants)
+	}
+
+	spec := smallSpec(1000, 2)
+	spec.Tenant = 3
+	job, err = m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit is a completion for its submitting tenant too.
+	spec.Tenant = 3
+	hit, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hit.Wait(context.Background()); !v.Cached {
+		t.Fatalf("resubmit was not a cache hit: %+v", v)
+	}
+
+	st := m.Stats()
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != 3 {
+		t.Fatalf("tenant stats: %+v", st.Tenants)
+	}
+	got := st.Tenants[0]
+	if got.Submitted != 2 || got.Completed != 2 || got.Failed != 0 || got.InFlight != 0 {
+		t.Errorf("tenant 3 counters: %+v", got)
+	}
+}
+
+// TestTenantStreamDeterminism pins that the merged multi-tenant stream
+// is a pure function of the spec: two identical weighted jobs produce
+// byte-identical results even when simulated fresh (no cache).
+func TestTenantStreamDeterminism(t *testing.T) {
+	spec := tenantSpec(20_000, 7, 2, 1)
+	spec.Tenants[1].Workload = "synthetic"
+	spec.Tenants[1].Modulation = &trace.Modulation{Kind: "bursty", Rate: 4, Period: 10_000_000, Duty: 0.25}
+
+	run := func() []byte {
+		m := New(Options{Workers: 1, SampleEvery: 1000})
+		defer m.Close()
+		job, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status != StatusDone {
+			t.Fatalf("status %s: %s", view.Status, view.Error)
+		}
+		return view.Result
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical multi-tenant specs produced different payloads")
+	}
+}

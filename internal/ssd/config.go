@@ -67,6 +67,14 @@ type Config struct {
 
 	// Scheduler selects the dispatch policy.
 	Scheduler sched.Policy
+	// TenantWeights, when non-empty, engages weighted fair-share
+	// dispatch: the queue deficit-round-robins across tenant classes
+	// with these scheduler weights (tenants absent from the map weigh
+	// 1). Empty leaves the queue in legacy single-tenant mode, where
+	// tenant tags affect only the per-tenant metrics. Tenant-weighted
+	// devices are not shardable (see ShardableConfig): cross-tenant
+	// arbitration is global by nature.
+	TenantWeights map[uint8]float64
 	// CtrlOverhead is the per-element command overhead charged to every
 	// element task of a request (interface decode, ECC, firmware).
 	CtrlOverhead sim.Time

@@ -75,6 +75,8 @@ type Metrics struct {
 	// retirement activity. All four are computed fresh by Metrics().
 	FaultsInjected, FaultRetries int64
 	RetiredBlocks, RemappedPages int64
+	// Tenants breaks completed host transfers down per tenant class.
+	Tenants stats.TenantSet
 }
 
 // GCStats aggregates FTL cleaning counters across the gang.
@@ -153,8 +155,10 @@ type Device struct {
 type completionSample struct {
 	done, start sim.Time
 	ms          float64
+	size        int64
 	kind        trace.Kind
 	pri         bool
+	tenant      uint8
 }
 
 // New builds a device on the given engine.
@@ -194,6 +198,11 @@ func newWithBackends(eng *sim.Engine, cfg Config, elems []ftl.Backend, lo, hi in
 		elemHi:     hi,
 	}
 	d.q = sched.NewQueue(cfg.Scheduler, cfg.Elements)
+	// Map iteration order is irrelevant here: the queue keeps its tenant
+	// ring sorted by ID, so any insertion order yields the same ring.
+	for t, w := range cfg.TenantWeights {
+		d.q.SetTenantWeight(t, w)
+	}
 	d.drv = sched.NewDriver(eng, d.q, d.serve)
 	d.drv.SetHooks(d.mandatoryClean, d.opportunisticClean)
 	perElemPages := d.elems[0].LogicalPages()
@@ -402,12 +411,14 @@ func (d *Device) submit(op trace.Op, onDone func(*Request), pump bool) error {
 	return nil
 }
 
-// enqueue adds a request to the dispatch queue.
+// enqueue adds a request to the dispatch queue, carrying the op's tenant
+// class and byte cost for the fair-share layer (ignored — and the push
+// byte-identical to the legacy one — unless tenant weights are set).
 func (d *Device) enqueue(req *Request) {
 	if req.Op.Priority {
 		d.outstandingPri++
 	}
-	d.q.Push(d.elemsFor(req.Op), req)
+	d.q.PushT(d.elemsFor(req.Op), req, req.Op.Tenant, req.Op.Size)
 }
 
 // Play schedules every operation at its trace timestamp and runs the
@@ -640,11 +651,13 @@ func (d *Device) complete(req *Request) {
 func (d *Device) recordResp(req *Request, ms float64) {
 	if d.recording {
 		d.samples = append(d.samples, completionSample{
-			done:  req.Done,
-			start: req.Start,
-			ms:    ms,
-			kind:  req.Op.Kind,
-			pri:   req.Op.Priority,
+			done:   req.Done,
+			start:  req.Start,
+			ms:     ms,
+			size:   req.Op.Size,
+			kind:   req.Op.Kind,
+			pri:    req.Op.Priority,
+			tenant: req.Op.Tenant,
 		})
 		return
 	}
@@ -655,4 +668,5 @@ func (d *Device) recordResp(req *Request, ms float64) {
 		d.met.WriteResp.Add(ms)
 	}
 	d.addClassResp(req, ms)
+	d.met.Tenants.Record(req.Op.Tenant, req.Op.Kind == trace.Write, req.Op.Size, ms)
 }

@@ -111,6 +111,9 @@ func ShardableConfig(cfg Config, n int) error {
 	if cfg.PriorityAware {
 		return fmt.Errorf("ssd: sharding is incompatible with priority-aware cleaning")
 	}
+	if len(cfg.TenantWeights) != 0 {
+		return fmt.Errorf("ssd: sharding is incompatible with tenant-weighted dispatch")
+	}
 	return nil
 }
 
@@ -242,6 +245,7 @@ func (d *Device) flushShardStats() {
 		} else {
 			d.met.BgResp.Add(s.ms)
 		}
+		d.met.Tenants.Record(s.tenant, s.kind == trace.Write, s.size, s.ms)
 	}
 }
 
@@ -381,7 +385,7 @@ func (d *Device) merge(s trace.Stream, op trace.Op, at sim.Time) error {
 	sort.Slice(queued, func(i, j int) bool { return queued[i].gseq < queued[j].gseq })
 	for _, req := range queued {
 		req.dev = d
-		d.q.Push(d.elemsFor(req.Op), req)
+		d.q.PushT(d.elemsFor(req.Op), req, req.Op.Tenant, req.Op.Size)
 	}
 	g.group.Transfer(d.eng, func(arg any) any {
 		switch v := arg.(type) {

@@ -1,0 +1,64 @@
+package stats
+
+// TenantSet is a keyed multi-histogram: a family of per-tenant response
+// accumulators (operation counts, bytes moved, and one latency Histogram
+// per direction) indexed by a small integer key. Entries are created
+// lazily on a tenant's first recorded completion — a Histogram is ~4 KB,
+// so eagerly sizing 256 of them per device would dwarf the device — and
+// the record path after that first sight is allocation-free, which keeps
+// the per-tenant metrics inside the devices' zero-alloc steady state.
+//
+// A TenantSet value copies as a small header sharing its entries; treat
+// copies as read-only snapshots, the way device Metrics are consumed.
+type TenantSet struct {
+	ents []*TenantAcc // sorted by tenant ID
+}
+
+// TenantAcc accumulates one tenant's completions.
+type TenantAcc struct {
+	// Tenant is the key (0 = untagged legacy ops).
+	Tenant uint8
+	// Reads and Writes count completed host transfers by direction.
+	Reads, Writes int64
+	// BytesRead and BytesWritten count host data moved.
+	BytesRead, BytesWritten int64
+	// ReadResp and WriteResp are response-time histograms in milliseconds.
+	ReadResp, WriteResp Histogram
+}
+
+// Acc returns tenant t's accumulator, creating it on first sight.
+func (s *TenantSet) Acc(t uint8) *TenantAcc {
+	i := 0
+	for i < len(s.ents) && s.ents[i].Tenant < t {
+		i++
+	}
+	if i < len(s.ents) && s.ents[i].Tenant == t {
+		return s.ents[i]
+	}
+	a := &TenantAcc{Tenant: t}
+	s.ents = append(s.ents, nil)
+	copy(s.ents[i+1:], s.ents[i:])
+	s.ents[i] = a
+	return a
+}
+
+// Record folds one completed transfer into tenant t's accumulator.
+func (s *TenantSet) Record(t uint8, write bool, bytes int64, ms float64) {
+	a := s.Acc(t)
+	if write {
+		a.Writes++
+		a.BytesWritten += bytes
+		a.WriteResp.Add(ms)
+	} else {
+		a.Reads++
+		a.BytesRead += bytes
+		a.ReadResp.Add(ms)
+	}
+}
+
+// Entries returns the accumulators in tenant-ID order. The slice and its
+// entries are live; callers must not mutate them.
+func (s TenantSet) Entries() []*TenantAcc { return s.ents }
+
+// Len reports the number of tenants seen.
+func (s TenantSet) Len() int { return len(s.ents) }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"container/heap"
+	"fmt"
+	"math"
 
 	"ossd/internal/sim"
 )
@@ -197,6 +199,215 @@ func (m *mergeStream) Err() error {
 // compose concurrent workloads, e.g. a foreground stream merged with a
 // background scan.
 func Merge(streams ...Stream) Stream { return &mergeStream{srcs: streams} }
+
+// Modulation shapes a tenant's arrival process when its stream joins a
+// multi-tenant mix: a deterministic time warp applied per op, so the
+// same source stream produces the same shaped arrivals on every run.
+// The warp maps the source's "virtual" time axis (scaled by Rate) onto
+// wall time through a periodic rate profile: a steady tenant passes
+// through linearly, a bursty tenant packs its work into a duty window
+// each period, and a diurnal tenant follows a raised-cosine day/night
+// cycle between a trough and a peak.
+type Modulation struct {
+	// Kind selects the profile: "" or "steady", "bursty", "diurnal".
+	Kind string `json:"kind,omitempty"`
+	// Rate scales the tenant's overall arrival rate (0 = 1.0): source
+	// timestamps are divided by it before shaping, so 2.0 issues the
+	// same ops twice as fast.
+	Rate float64 `json:"rate,omitempty"`
+	// Period is the modulation cycle length (0 = 1s). Steady ignores it.
+	Period sim.Time `json:"period_ns,omitempty"`
+	// Duty is the fraction of each bursty period the tenant is on
+	// (0 = 0.25). Diurnal and steady ignore it.
+	Duty float64 `json:"duty,omitempty"`
+	// Floor is the off-window (bursty) or trough (diurnal) rate relative
+	// to the peak, in [0, 1]. Bursty defaults to 0 (fully idle between
+	// bursts); diurnal defaults to 0.1.
+	Floor float64 `json:"floor,omitempty"`
+	// Phase offsets the cycle as a fraction of a period, so tenants
+	// sharing a period can burst out of step.
+	Phase float64 `json:"phase,omitempty"`
+}
+
+// Validate rejects out-of-range modulation parameters.
+func (m Modulation) Validate() error {
+	switch m.Kind {
+	case "", "steady", "bursty", "diurnal":
+	default:
+		return fmt.Errorf("trace: unknown modulation kind %q", m.Kind)
+	}
+	if m.Rate < 0 {
+		return fmt.Errorf("trace: negative modulation rate %v", m.Rate)
+	}
+	if m.Period < 0 {
+		return fmt.Errorf("trace: negative modulation period %v", m.Period)
+	}
+	if m.Duty < 0 || m.Duty > 1 {
+		return fmt.Errorf("trace: modulation duty %v out of [0, 1]", m.Duty)
+	}
+	if m.Floor < 0 || m.Floor > 1 {
+		return fmt.Errorf("trace: modulation floor %v out of [0, 1]", m.Floor)
+	}
+	if m.Phase < 0 || m.Phase >= 1 {
+		return fmt.Errorf("trace: modulation phase %v out of [0, 1)", m.Phase)
+	}
+	return nil
+}
+
+// profile returns the per-period rate slots (relative to peak) and the
+// period. A slot's rate is how fast virtual time advances per wall
+// nanosecond while wall time is inside that slot.
+func (m Modulation) profile() ([]float64, sim.Time) {
+	period := m.Period
+	if period == 0 {
+		period = sim.Second
+	}
+	switch m.Kind {
+	case "bursty":
+		duty := m.Duty
+		if duty == 0 {
+			duty = 0.25
+		}
+		// Two slots: on for duty*period at peak rate, off at Floor. The
+		// slot table is expressed over 16 equal slots so duty needs no
+		// special casing in the inverse map.
+		slots := make([]float64, 16)
+		for i := range slots {
+			if float64(i) < duty*16 {
+				slots[i] = 1
+			} else {
+				slots[i] = m.Floor
+			}
+		}
+		return slots, period
+	case "diurnal":
+		floor := m.Floor
+		if floor == 0 {
+			floor = 0.1
+		}
+		// Raised cosine sampled at 16 slots: peak at the cycle start,
+		// trough half a period later. math.Cos is bit-reproducible for a
+		// given input, so the shaped timestamps are identical every run.
+		slots := make([]float64, 16)
+		for i := range slots {
+			c := (1 + math.Cos(2*math.Pi*float64(i)/16)) / 2 // 1 at 0, 0 at half period
+			slots[i] = floor + (1-floor)*c
+		}
+		return slots, period
+	default:
+		return nil, period
+	}
+}
+
+// warp maps a source timestamp onto the shaped wall clock.
+type warp struct {
+	rate    float64
+	slots   []float64 // nil = steady
+	period  sim.Time
+	perSlot float64 // wall ns per slot
+	cap     float64 // virtual ns capacity per period
+	phase   sim.Time
+}
+
+func newWarp(m Modulation) warp {
+	rate := m.Rate
+	if rate == 0 {
+		rate = 1
+	}
+	slots, period := m.profile()
+	w := warp{rate: rate, slots: slots, period: period}
+	if slots != nil {
+		w.perSlot = float64(period) / float64(len(slots))
+		for _, s := range slots {
+			w.cap += s * w.perSlot
+		}
+	}
+	w.phase = sim.Time(m.Phase * float64(period))
+	return w
+}
+
+// apply warps one timestamp. It is monotone in t, so a sorted source
+// stream stays sorted.
+func (w warp) apply(t sim.Time) sim.Time {
+	v := float64(t) / w.rate // virtual time consumed by the source
+	if w.slots == nil {
+		return w.phase + sim.Time(v)
+	}
+	periods := 0.0
+	if w.cap > 0 {
+		periods = float64(int64(v / w.cap))
+	}
+	rem := v - periods*w.cap
+	wall := periods * float64(w.period)
+	for _, s := range w.slots {
+		if s <= 0 {
+			wall += w.perSlot
+			continue
+		}
+		slotCap := s * w.perSlot
+		if rem < slotCap {
+			wall += rem / s
+			rem = 0
+			break
+		}
+		rem -= slotCap
+		wall += w.perSlot
+	}
+	// rem > 0 only if every slot rate is zero; park such ops at the
+	// period boundary rather than dividing by zero.
+	return w.phase + sim.Time(wall)
+}
+
+// TenantStream couples one tenant's workload with its arrival shaping
+// for MergeTenants.
+type TenantStream struct {
+	// Tenant tags every op of this source (must be nonzero: 0 is the
+	// untagged legacy default).
+	Tenant uint8
+	// Stream is the tenant's timestamp-ordered workload.
+	Stream Stream
+	// Mod shapes the tenant's arrivals; the zero value passes the
+	// source timing through unchanged.
+	Mod Modulation
+}
+
+// tenantTagStream tags and warps one tenant's ops.
+type tenantTagStream struct {
+	src    Stream
+	tenant uint8
+	w      warp
+}
+
+func (t *tenantTagStream) Next() (Op, bool) {
+	op, ok := t.src.Next()
+	if !ok {
+		return Op{}, false
+	}
+	op.Tenant = t.tenant
+	op.At = t.w.apply(op.At)
+	return op, true
+}
+
+func (t *tenantTagStream) Err() error { return Err(t.src) }
+
+// MergeTenants tags each source's ops with its tenant ID, shapes each
+// tenant's arrival times under its modulation, and interleaves the
+// results into one timestamp-ordered stream (ties go to the earlier
+// source). It is the front door for multi-tenant workloads: per-tenant
+// generators in, one schedulable mix out, at O(len(srcs)) memory.
+func MergeTenants(srcs []TenantStream) (Stream, error) {
+	tagged := make([]Stream, len(srcs))
+	for i, src := range srcs {
+		if src.Tenant == 0 {
+			return nil, fmt.Errorf("trace: tenant stream %d has tenant 0 (reserved for untagged ops)", i)
+		}
+		if err := src.Mod.Validate(); err != nil {
+			return nil, err
+		}
+		tagged[i] = &tenantTagStream{src: src.Stream, tenant: src.Tenant, w: newWarp(src.Mod)}
+	}
+	return Merge(tagged...), nil
+}
 
 // tallyStream accumulates Stats as operations pass through.
 type tallyStream struct {

@@ -48,10 +48,27 @@ type Op struct {
 	At sim.Time
 	// Kind is the operation type.
 	Kind Kind
+	// Tenant identifies the workload stream the op belongs to. Zero is
+	// the legacy single-tenant default; MergeTenants tags interleaved
+	// per-tenant streams 1..N. The scheduler's fair-share layer and the
+	// per-tenant metrics key on it.
+	Tenant uint8
 	// Offset and Size delimit the byte range.
 	Offset, Size int64
 	// Priority marks a foreground (high-priority) request (§3.6).
 	Priority bool
+}
+
+// Class is the op's scheduling class: the tenant ID shifted left one
+// with the priority flag folded into the low bit, so a single small
+// integer distinguishes every (tenant, priority) combination. Tenant-0
+// non-priority ops — the legacy default — are class 0.
+func (o Op) Class() int {
+	c := int(o.Tenant) << 1
+	if o.Priority {
+		c |= 1
+	}
+	return c
 }
 
 // End returns the first byte past the operation's range.
@@ -89,6 +106,36 @@ type Stats struct {
 	Duration    sim.Time `json:"duration_ns"`
 	MaxOffset   int64    `json:"max_offset"`
 	PriorityOps int      `json:"priority_ops"`
+	// Tenants breaks the tagged (nonzero-tenant) portion of the trace
+	// down per tenant, sorted by tenant ID. Untagged legacy ops (tenant
+	// 0) appear only in the totals above, so a single-tenant trace
+	// summarizes exactly as it always did.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's slice of a Stats summary.
+type TenantStats struct {
+	Tenant     int   `json:"tenant"`
+	Ops        int   `json:"ops"`
+	Reads      int   `json:"reads"`
+	Writes     int   `json:"writes"`
+	ReadBytes  int64 `json:"read_bytes"`
+	WriteBytes int64 `json:"write_bytes"`
+}
+
+// tenant returns the entry for t, inserting it in sorted position.
+func (s *Stats) tenant(t uint8) *TenantStats {
+	i := 0
+	for i < len(s.Tenants) && s.Tenants[i].Tenant < int(t) {
+		i++
+	}
+	if i < len(s.Tenants) && s.Tenants[i].Tenant == int(t) {
+		return &s.Tenants[i]
+	}
+	s.Tenants = append(s.Tenants, TenantStats{})
+	copy(s.Tenants[i+1:], s.Tenants[i:])
+	s.Tenants[i] = TenantStats{Tenant: int(t)}
+	return &s.Tenants[i]
 }
 
 // add folds one operation into the summary.
@@ -104,6 +151,18 @@ func (s *Stats) add(o Op) {
 	case Free:
 		s.Frees++
 		s.FreedBytes += o.Size
+	}
+	if o.Tenant != 0 {
+		ts := s.tenant(o.Tenant)
+		ts.Ops++
+		switch o.Kind {
+		case Read:
+			ts.Reads++
+			ts.ReadBytes += o.Size
+		case Write:
+			ts.Writes++
+			ts.WriteBytes += o.Size
+		}
 	}
 	if o.Priority {
 		s.PriorityOps++
@@ -125,12 +184,15 @@ func Summarize(ops []Op) Stats {
 	return s
 }
 
-// Encoder writes operations incrementally in the text format, one per
-// line:
+// Encoder writes operations incrementally in the text format (v2), one
+// per line:
 //
-//	<at_ns> <R|W|F> <offset> <size> [P]
+//	<at_ns> <R|W|F> <offset> <size> [P] [T<tenant>]
 //
-// Writes are buffered; call Flush when done.
+// The trailing flags are emitted only when set, so a legacy
+// (non-priority, tenant-0) trace encodes byte-identically to the v1
+// format and every v1 trace still decodes. Writes are buffered; call
+// Flush when done.
 type Encoder struct {
 	bw *bufio.Writer
 }
@@ -143,11 +205,14 @@ func (e *Encoder) Write(o Op) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
-	pri := ""
+	flags := ""
 	if o.Priority {
-		pri = " P"
+		flags = " P"
 	}
-	_, err := fmt.Fprintf(e.bw, "%d %s %d %d%s\n", int64(o.At), o.Kind, o.Offset, o.Size, pri)
+	if o.Tenant != 0 {
+		flags += fmt.Sprintf(" T%d", o.Tenant)
+	}
+	_, err := fmt.Fprintf(e.bw, "%d %s %d %d%s\n", int64(o.At), o.Kind, o.Offset, o.Size, flags)
 	return err
 }
 
@@ -243,8 +308,8 @@ func (d *Decoder) Next() (Op, bool) {
 // parse decodes one non-comment line.
 func (d *Decoder) parse(text string) (Op, error) {
 	f := strings.Fields(text)
-	if len(f) < 4 || len(f) > 5 {
-		return Op{}, fmt.Errorf("trace: line %d: want 4 or 5 fields, got %d", d.line, len(f))
+	if len(f) < 4 || len(f) > 6 {
+		return Op{}, fmt.Errorf("trace: line %d: want 4 to 6 fields, got %d", d.line, len(f))
 	}
 	at, err := strconv.ParseInt(f[0], 10, 64)
 	if err != nil {
@@ -270,11 +335,19 @@ func (d *Decoder) parse(text string) (Op, error) {
 		return Op{}, fmt.Errorf("trace: line %d: bad size: %v", d.line, err)
 	}
 	op := Op{At: sim.Time(at), Kind: kind, Offset: off, Size: size}
-	if len(f) == 5 {
-		if f[4] != "P" {
-			return Op{}, fmt.Errorf("trace: line %d: bad flag %q", d.line, f[4])
+	for _, flag := range f[4:] {
+		switch {
+		case flag == "P" && !op.Priority:
+			op.Priority = true
+		case len(flag) > 1 && flag[0] == 'T' && op.Tenant == 0:
+			t, err := strconv.ParseUint(flag[1:], 10, 8)
+			if err != nil || t == 0 {
+				return Op{}, fmt.Errorf("trace: line %d: bad tenant flag %q", d.line, flag)
+			}
+			op.Tenant = uint8(t)
+		default:
+			return Op{}, fmt.Errorf("trace: line %d: bad flag %q", d.line, flag)
 		}
-		op.Priority = true
 	}
 	if err := op.Validate(); err != nil {
 		return Op{}, fmt.Errorf("trace: line %d: %v", d.line, err)
